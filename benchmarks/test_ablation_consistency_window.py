@@ -1,0 +1,179 @@
+"""Ablation A2: the netlog/buffer trade-off (§4.1's admission).
+
+The prototype shipped the delay buffer because full NetLog was not
+ready; the paper admits the buffer "is not practical in a real-world
+environment".  This ablation quantifies both sides on a burst policy
+(one event -> 60 FlowMods):
+
+- **buffer mode** pays a *latency tax*: no rule lands until the app's
+  EventComplete confirms the whole batch, so the first rule waits for
+  all 60 to be generated and shipped;
+- **netlog mode** pays a *vulnerability window* on byzantine output:
+  eagerly applied bad rules live in the switches until the
+  post-complete invariant check rolls them back (measured exactly via
+  switch-side instrumentation).
+
+Expected shape: first-rule latency buffer > netlog (last-rule latency
+comparable); byzantine exposure netlog > 0, buffer == 0.
+"""
+
+from repro.apps import LearningSwitch
+from repro.apps.base import SDNApp
+from repro.faults import BugKind, crash_on
+from repro.network.topology import linear_topology
+from repro.openflow.actions import Drop, Output
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.workloads.traffic import inject_marker_packet
+
+from benchmarks.harness import build_legosdn, print_table, run_once
+
+BURST = 60
+
+
+class BurstPolicyApp(SDNApp):
+    """One PacketIn triggers a 60-rule policy burst at switch 1."""
+
+    name = "burst"
+    subscriptions = ("PacketIn",)
+
+    def on_packet_in(self, event):
+        payload = getattr(event.packet, "payload", "") or ""
+        if "BURST" not in payload:
+            return
+        for i in range(BURST):
+            self.api.emit(1, FlowMod(
+                match=Match(eth_dst=f"aa:bb:cc:00:{i // 256:02x}:{i % 256:02x}"),
+                priority=777, actions=(Output(1),),
+            ))
+
+
+def _install_latencies(mode):
+    """(first-rule, last-rule) latency for the burst policy."""
+    net, runtime = build_legosdn(linear_topology(2, 1),
+                                 [BurstPolicyApp()], mode=mode)
+    switch = net.switch(1)
+    first = last = None
+    start = net.now
+    inject_marker_packet(net, "h1", "h2", "BURST")
+    while net.now - start < 3.0:
+        net.run_for(0.0005)
+        burst_rules = sum(1 for e in switch.flow_table if e.priority == 777)
+        if burst_rules >= 1 and first is None:
+            first = net.now - start
+        if burst_rules >= BURST:
+            last = net.now - start
+            break
+    return first, last
+
+
+def _byzantine_exposure(mode):
+    """Exact lifetime of a byzantine drop-all rule on the switches.
+
+    Setup: hosts are learned, then a *permanent* h1<->h3 path is
+    installed through NetLog (so the shadow tables know it).  The
+    byzantine app then black-holes s2 -- squarely on that path -- so
+    the invariant checker can see the violation in both modes.
+    """
+    net, runtime = build_legosdn(
+        linear_topology(3, 1), [],
+        byzantine_check=True, mode=mode,
+    )
+    runtime.launch_app(crash_on(LearningSwitch(name="byz"),
+                                payload_marker="EVIL",
+                                kind=BugKind.BYZANTINE_BLACKHOLE))
+    net.run_for(1.0)
+    net.reachability(wait=1.0)  # device manager learns every host
+    net.run_for(LearningSwitch.IDLE_TIMEOUT + 1.0)  # reactive rules gone
+    # Operator-installed permanent path h1<->h3, registered in NetLog.
+    manager = runtime.proxy.manager
+    h1, h3 = net.host("h1"), net.host("h3")
+    txn = manager.begin("operator", "static-path")
+    for dst_mac, ports in ((h3.mac, {1: 1, 2: 2, 3: 2}),
+                           (h1.mac, {3: 1, 2: 1, 1: 2})):
+        for dpid, out_port in ports.items():
+            txn_mod = FlowMod(match=Match(eth_dst=dst_mac), priority=400,
+                              actions=(Output(out_port),))
+            manager.apply(txn, dpid, txn_mod)
+    manager.commit(txn)
+    net.run_for(0.2)
+    # instrument every switch: timestamp add/removal of the 6000-prio rule
+    windows = []
+
+    def wrap(switch):
+        original = switch.handle_message
+
+        def spy(msg):
+            before = any(e.priority == 6000 for e in switch.flow_table)
+            original(msg)
+            after = any(e.priority == 6000 for e in switch.flow_table)
+            if after and not before:
+                windows.append([net.now, None])
+            elif before and not after and windows and windows[-1][1] is None:
+                windows[-1][1] = net.now
+
+        switch.handle_message = spy
+
+    for switch in net.switches.values():
+        wrap(switch)
+    # The trigger (dst h2 has no static rule) punts at s1, so the
+    # byzantine app installs its drop-all right on the static path.
+    inject_marker_packet(net, "h1", "h2", "EVIL")
+    net.run_for(3.0)
+    exposure = sum(
+        (end if end is not None else net.now) - start
+        for start, end in windows
+    )
+    return {
+        "exposure": exposure,
+        "applications": len(windows),
+        "detections": runtime.stats()["byz"]["byzantine"],
+    }
+
+
+def test_ablation_netlog_vs_buffer(benchmark):
+    def experiment():
+        return {
+            "latency": {mode: _install_latencies(mode)
+                        for mode in ("netlog", "buffer")},
+            "byzantine": {mode: _byzantine_exposure(mode)
+                          for mode in ("netlog", "buffer")},
+        }
+
+    r = run_once(benchmark, experiment)
+    lat, byz = r["latency"], r["byzantine"]
+    print_table(
+        f"A2: eager NetLog vs the §4.1 delay buffer ({BURST}-rule policy)",
+        ["metric", "netlog (eager+rollback)", "buffer (hold+flush)"],
+        [
+            ["first rule installed after",
+             f"{lat['netlog'][0] * 1000:.2f} ms",
+             f"{lat['buffer'][0] * 1000:.2f} ms"],
+            ["full policy installed after",
+             f"{lat['netlog'][1] * 1000:.2f} ms",
+             f"{lat['buffer'][1] * 1000:.2f} ms"],
+            ["byzantine rule exposure",
+             f"{byz['netlog']['exposure'] * 1000:.2f} ms",
+             f"{byz['buffer']['exposure'] * 1000:.2f} ms"],
+            ["byzantine rules ever applied",
+             byz["netlog"]["applications"], byz["buffer"]["applications"]],
+            ["byzantine detections",
+             byz["netlog"]["detections"], byz["buffer"]["detections"]],
+        ],
+    )
+    benchmark.extra_info["results"] = {
+        "latency": lat,
+        "byzantine": byz,
+    }
+
+    assert all(v is not None for pair in lat.values() for v in pair)
+    # Buffer taxes the first rule with the full-batch round trip.
+    assert lat["buffer"][0] > lat["netlog"][0]
+    # Both detect the byzantine output...
+    assert byz["netlog"]["detections"] >= 1
+    assert byz["buffer"]["detections"] >= 1
+    # ...but only netlog ever exposed the network to it.
+    assert byz["netlog"]["applications"] >= 1
+    assert byz["netlog"]["exposure"] > 0.0
+    assert byz["buffer"]["applications"] == 0
+    assert byz["buffer"]["exposure"] == 0.0

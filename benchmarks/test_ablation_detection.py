@@ -1,0 +1,87 @@
+"""Ablation A1: heartbeat cadence vs detection latency vs overhead.
+
+§4.1: "To further help the proxy in detecting crashes quickly, the
+stub also sends periodic heart beat messages."  Faster heartbeats
+detect hangs sooner but cost channel bytes; this sweep quantifies the
+trade so an operator can pick a cadence.
+
+Expected shape: hang-detection latency scales with the heartbeat
+timeout (itself proportional to the interval); heartbeat byte overhead
+scales inversely with the interval; explicit crash reports are
+unaffected (they never wait for a timer).
+"""
+
+from repro.apps import LearningSwitch
+from repro.core.crashpad.detector import FailureDetector
+from repro.faults import BugKind, crash_on
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+from repro.core.runtime import LegoSDNRuntime
+from repro.workloads.traffic import inject_marker_packet
+
+from benchmarks.harness import print_table, run_once
+
+INTERVALS = (0.02, 0.05, 0.1, 0.2, 0.4)
+QUIET_WINDOW = 4.0
+
+
+def _run(heartbeat_interval):
+    net = Network(linear_topology(2, 1), seed=0)
+    runtime = LegoSDNRuntime(
+        net.controller,
+        heartbeat_interval=heartbeat_interval,
+    )
+    # scale the detector's patience with the cadence, as a real
+    # deployment would (3 missed beats + slack)
+    runtime.proxy.detector = FailureDetector(
+        heartbeat_timeout=heartbeat_interval * 3.5,
+        event_timeout=max(0.5, heartbeat_interval * 5),
+    )
+    runtime.launch_app(crash_on(LearningSwitch(name="app"),
+                                payload_marker="H", kind=BugKind.HANG))
+    net.start()
+    net.run_for(1.0)
+    channel = runtime.channels["app"]
+    bytes_before = channel.bytes_carried
+    quiet_start = net.now
+    net.run_for(QUIET_WINDOW)
+    idle_bytes = channel.bytes_carried - bytes_before
+    injected_at = net.now
+    inject_marker_packet(net, "h1", "h2", "H")
+    net.run_for(4.0)
+    tickets = runtime.tickets.for_app("app")
+    detection = (tickets[0].time - injected_at) if tickets else None
+    return {
+        "interval": heartbeat_interval,
+        "detection_latency": detection,
+        "idle_bytes_per_s": idle_bytes / QUIET_WINDOW,
+        "recovered": runtime.stats()["app"]["recoveries"] >= 1,
+    }
+
+
+def test_ablation_heartbeat_cadence(benchmark):
+    def experiment():
+        return [_run(interval) for interval in INTERVALS]
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "A1: heartbeat cadence vs hang-detection latency vs idle overhead",
+        ["interval (ms)", "hang detected after (ms)",
+         "idle channel bytes/s", "recovered"],
+        [[f"{r['interval'] * 1000:.0f}",
+          f"{r['detection_latency'] * 1000:.0f}" if r["detection_latency"]
+          else "NOT DETECTED",
+          f"{r['idle_bytes_per_s']:.0f}",
+          "yes" if r["recovered"] else "NO"]
+         for r in rows],
+    )
+    benchmark.extra_info["sweep"] = rows
+
+    assert all(r["detection_latency"] is not None for r in rows)
+    assert all(r["recovered"] for r in rows)
+    # Detection latency grows with the interval...
+    latencies = [r["detection_latency"] for r in rows]
+    assert latencies[0] < latencies[-1]
+    # ...and idle overhead shrinks with it.
+    overheads = [r["idle_bytes_per_s"] for r in rows]
+    assert overheads[0] > overheads[-1] * 2

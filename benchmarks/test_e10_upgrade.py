@@ -1,0 +1,95 @@
+"""E10: controller upgrades (§3.4).
+
+"Upgrades to the controller codebase must be followed by a controller
+reboot.  Such events also cause the SDN-App to unnecessarily reboot
+and lose state ... this state recreation process can result in network
+outages lasting as long as 10 seconds [32].  The isolation provided by
+LegoSDN shields the SDN-Apps from such controller reboots."
+
+Both runtimes take a 1-second controller upgrade.  Measured: app state
+across the upgrade (the monitor app's observation tally), the control
+outage, and the time for the network to regain full reachability.
+
+Expected shape: LegoSDN retains app state bit-for-bit, monolithic
+resets to zero; both suffer the upgrade outage itself, but monolithic
+additionally pays the state-recreation period.
+"""
+
+from repro.apps import FlowMonitor, LearningSwitch
+from repro.core.upgrade import upgrade_legosdn, upgrade_monolithic
+from repro.network.topology import linear_topology
+
+from benchmarks.harness import build_legosdn, build_monolithic, print_table, run_once
+
+UPGRADE_DURATION = 1.0
+
+
+def _monitor_state(runtime):
+    return runtime.app("monitor").total_observations()
+
+
+def _time_to_full_reach(net, limit=10.0, step=0.5):
+    start = net.now
+    while net.now - start < limit:
+        if net.reachability(wait=step) == 1.0:
+            return net.now - start
+    return float("inf")
+
+
+def _run_monolithic():
+    net, runtime = build_monolithic(linear_topology(2, 1),
+                                    [FlowMonitor, LearningSwitch])
+    net.ping("h1", "h2")
+    report = upgrade_monolithic(net, runtime, UPGRADE_DURATION,
+                                _monitor_state)
+    recover = _time_to_full_reach(net)
+    return report, recover
+
+
+def _run_legosdn():
+    net, runtime = build_legosdn(linear_topology(2, 1),
+                                 [FlowMonitor(), LearningSwitch()])
+    net.ping("h1", "h2")
+    net.run_for(0.5)
+    report = upgrade_legosdn(net, runtime, UPGRADE_DURATION, _monitor_state)
+    recover = _time_to_full_reach(net)
+    return report, recover
+
+
+def test_e10_controller_upgrade(benchmark):
+    def experiment():
+        mono_report, mono_recover = _run_monolithic()
+        lego_report, lego_recover = _run_legosdn()
+        return {
+            "monolithic": (mono_report, mono_recover),
+            "legosdn": (lego_report, lego_recover),
+        }
+
+    r = run_once(benchmark, experiment)
+    rows = []
+    for kind in ("monolithic", "legosdn"):
+        report, recover = r[kind]
+        rows.append([
+            kind,
+            report.state_before,
+            report.state_after,
+            "retained" if report.state_retained else "LOST",
+            f"{report.outage:.2f}s",
+            f"{recover:.2f}s",
+        ])
+    print_table(
+        f"E10: {UPGRADE_DURATION:.0f}s controller upgrade",
+        ["runtime", "app state before", "after", "verdict",
+         "control outage", "reach recovery"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = [[str(c) for c in row] for row in rows]
+
+    mono_report, _ = r["monolithic"]
+    lego_report, lego_recover = r["legosdn"]
+    assert not mono_report.state_retained
+    assert mono_report.state_after == 0
+    assert lego_report.state_retained
+    assert lego_report.state_before > 0
+    # both recover service eventually
+    assert lego_recover < 10.0

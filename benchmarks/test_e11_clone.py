@@ -1,0 +1,100 @@
+"""E11: tolerating non-deterministic bugs with a hot-standby clone (§5).
+
+"LegoSDN can spawn a clone of an SDN-App, and let it run in parallel
+to the actual SDN-App ... This allows for an easy switch-over
+operation to the clone, when the primary fails.  Since the bug is
+assumed to be non-deterministic, the clone is unlikely to be
+affected."
+
+Compared recoveries from the same non-deterministic crash:
+
+- **checkpoint restore** (Crash-Pad's default): restore + skip the
+  offending event;
+- **clone switch-over**: the clone processed the same event without
+  crashing, so it is promoted instantly and the event is NOT lost.
+
+Expected shape: both survive; the clone path loses zero events (no
+correctness compromise) where the restore path skips one; switch-over
+completes without any RestoreCommand round trip.
+"""
+
+from repro.apps import LearningSwitch
+from repro.core.diversity import HotStandbyApp
+from repro.faults import Bug, BugKind, FaultyApp
+from repro.network.topology import linear_topology
+from repro.workloads.traffic import inject_marker_packet
+
+from benchmarks.harness import build_legosdn, print_table, run_once
+
+
+def _nondet_primary(seed):
+    # probability 1.0 on the first evaluation for the chosen seed, but
+    # flagged non-deterministic: a clone with a different rng survives.
+    bug = Bug("nd", BugKind.CRASH, payload_marker="MAYBE",
+              deterministic=False, probability=0.99)
+    return FaultyApp(LearningSwitch(), [bug], seed=seed)
+
+
+def _run_restore_recovery():
+    net, runtime = build_legosdn(
+        linear_topology(2, 1), [_nondet_primary(seed=1)])
+    inject_marker_packet(net, "h1", "h2", "MAYBE")
+    net.run_for(2.0)
+    stats = runtime.stats()["learning_switch"]
+    return {
+        "survived": "learning_switch" in runtime.live_apps(),
+        "crashes": stats["crashes"],
+        "events_lost": stats["skipped"],
+        "restores": runtime.stub("learning_switch").restores_done,
+        "reach": net.reachability(wait=1.0),
+    }
+
+
+def _run_clone_switchover():
+    standby = HotStandbyApp(_nondet_primary(seed=1),
+                            LearningSwitch(), name="standby")
+    net, runtime = build_legosdn(linear_topology(2, 1), [standby])
+    inject_marker_packet(net, "h1", "h2", "MAYBE")
+    net.run_for(2.0)
+    stats = runtime.stats()["standby"]
+    return {
+        "survived": "standby" in runtime.live_apps(),
+        "crashes": stats["crashes"],          # wrapper never crashes
+        "events_lost": stats["skipped"],
+        "switch_overs": standby.switch_overs,
+        "restores": runtime.stub("standby").restores_done,
+        "reach": net.reachability(wait=1.0),
+    }
+
+
+def test_e11_clone_switchover(benchmark):
+    def experiment():
+        return {
+            "checkpoint-restore": _run_restore_recovery(),
+            "clone switch-over": _run_clone_switchover(),
+        }
+
+    r = run_once(benchmark, experiment)
+    print_table(
+        "E11: non-deterministic crash -- restore vs clone switch-over",
+        ["recovery", "survived", "crashes seen by proxy", "events lost",
+         "restores", "reach after"],
+        [[name, "yes" if row["survived"] else "NO", row["crashes"],
+          row["events_lost"], row["restores"], f"{row['reach']:.0%}"]
+         for name, row in r.items()],
+    )
+    benchmark.extra_info["results"] = r
+
+    restore, clone = r["checkpoint-restore"], r["clone switch-over"]
+    assert restore["survived"] and clone["survived"]
+    assert restore["reach"] == clone["reach"] == 1.0
+    # Restore path: the proxy saw the crash and skipped the event.
+    assert restore["crashes"] >= 1
+    assert restore["events_lost"] >= 1
+    assert restore["restores"] >= 1
+    # Clone path: masked below the proxy -- no crash, no restore, no
+    # lost event (the clone handled it).
+    assert clone["crashes"] == 0
+    assert clone["events_lost"] == 0
+    assert clone["restores"] == 0
+    assert clone["switch_overs"] == 1

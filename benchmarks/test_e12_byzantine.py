@@ -1,0 +1,100 @@
+"""E12: byzantine detection and the "No-Compromise" invariants (§3.3, §5).
+
+"Byzantine failures: the output of the SDN-App violates network
+invariants, which can be detected using policy checkers [20]" -- and
+§5: "a host of policy checkers can be used to ensure that the network
+maintains a set of 'No-Compromise' invariants.  If any of these
+'No-Compromise' invariants are indeed affected, then the network shuts
+down."
+
+Configurations:
+
+- loop bug, invariant checking OFF (baseline): the loop persists;
+- loop bug, checking ON: detected, rolled back, app recovered;
+- black-hole bug, checking ON: detected, rolled back;
+- loop bug, checking ON + shutdown-on-critical: the operator chose to
+  shut the network down rather than run unsafely.
+
+Expected shape: the checker removes every violation it detects;
+without it violations persist; the critical policy converts detection
+into a deliberate controller stop.
+"""
+
+from repro.apps import LearningSwitch
+from repro.faults import BugKind, crash_on
+from repro.invariants import InvariantChecker, NetSnapshot, build_host_probes
+from repro.network.topology import ring_topology
+from repro.workloads.traffic import inject_marker_packet
+
+from benchmarks.harness import build_legosdn, print_table, run_once
+
+
+def _violations_now(net):
+    snap = NetSnapshot.from_network(net)
+    checker = InvariantChecker(snap)
+    probes = build_host_probes(snap)
+    return (checker.check_loops(probes)
+            + checker.check_blackholes(probes))
+
+
+def _run(kind, byzantine_check, shutdown_on_critical=False):
+    net, runtime = build_legosdn(
+        ring_topology(4, 1),
+        [LearningSwitch(),
+         crash_on(LearningSwitch(name="byz"), payload_marker="EVIL",
+                  kind=kind)],
+        byzantine_check=byzantine_check,
+        shutdown_on_critical=shutdown_on_critical,
+    )
+    net.reachability(wait=1.0)  # hosts learned; checker has context
+    inject_marker_packet(net, "h1", "h3", "EVIL")
+    net.run_for(3.0)
+    stats = runtime.stats()["byz"]
+    return {
+        "byzantine_detected": stats["byzantine"],
+        "violations_left": len(_violations_now(net)),
+        "controller_up": not net.controller.crashed,
+        "crash_culprit": (net.controller.crash_records[0].culprit
+                          if net.controller.crash_records else ""),
+        "app_recovered": stats["recoveries"] >= stats["crashes"] > 0
+        or stats["crashes"] == 0,
+    }
+
+
+def test_e12_byzantine_detection(benchmark):
+    def experiment():
+        return {
+            "loop / checker off": _run(BugKind.BYZANTINE_LOOP, False),
+            "loop / checker on": _run(BugKind.BYZANTINE_LOOP, True),
+            "blackhole / checker on": _run(BugKind.BYZANTINE_BLACKHOLE, True),
+            "loop / no-compromise shutdown": _run(
+                BugKind.BYZANTINE_LOOP, True, shutdown_on_critical=True),
+        }
+
+    r = run_once(benchmark, experiment)
+    print_table(
+        "E12: byzantine app output vs the invariant checker",
+        ["configuration", "detections", "violations left",
+         "controller", "note"],
+        [[name, row["byzantine_detected"], row["violations_left"],
+          "up" if row["controller_up"] else "SHUT DOWN",
+          row["crash_culprit"][:40]]
+         for name, row in r.items()],
+    )
+    benchmark.extra_info["results"] = r
+
+    off = r["loop / checker off"]
+    on = r["loop / checker on"]
+    hole = r["blackhole / checker on"]
+    shutdown = r["loop / no-compromise shutdown"]
+    # Without the checker the loop persists silently.
+    assert off["byzantine_detected"] == 0
+    assert off["violations_left"] >= 1
+    # With it, both violation classes are caught and rolled back.
+    assert on["byzantine_detected"] >= 1 and on["violations_left"] == 0
+    assert hole["byzantine_detected"] >= 1 and hole["violations_left"] == 0
+    assert on["controller_up"] and hole["controller_up"]
+    # §5: critical invariant + shutdown policy = deliberate network stop.
+    assert not shutdown["controller_up"]
+    assert "no-compromise-invariant" in shutdown["crash_culprit"]
+    assert shutdown["violations_left"] == 0  # rolled back before the stop

@@ -1,0 +1,105 @@
+"""E13: failures that span multiple transactions (§5).
+
+"If the failure is induced as a cumulation of events, we plan on
+extending LegoSDN to read a history of snapshots (or checkpoints of
+the SDN-App) and use techniques like STS [28] to detect the exact set
+of events that induced the crash.  STS allows us to determine which
+checkpoint to roll back the application to."
+
+Workload: a state-corruption bug poisons the app on a marker event;
+every later event crashes it.  Plain restore-and-skip cannot help --
+each checkpoint it restores already carries the poison.  The deep
+(STS-guided) recovery delta-debugs the journal against checkpoint
+history, finds the poisoning event, prunes it, and rolls back to the
+newest clean checkpoint.
+
+Expected shape: without STS the app crash-loops for the rest of the
+run (every event skipped; the app is alive but useless); with STS it
+takes a bounded number of crashes, one deep restore, and then
+processes events normally again.  The ticket/probe costs of the search
+are reported.
+"""
+
+from repro.apps import LearningSwitch
+from repro.core.appvisor.proxy import AppStatus
+from repro.faults import BugKind, crash_on
+from repro.network.topology import linear_topology
+from repro.workloads.traffic import inject_marker_packet
+
+from benchmarks.harness import build_legosdn, print_table, run_once
+
+POST_POISON_EVENTS = 14
+
+
+def _corrupting_factory():
+    return crash_on(LearningSwitch(name="app"), payload_marker="POISON",
+                    kind=BugKind.STATE_CORRUPTION)
+
+
+def _run(with_sts):
+    net, runtime = build_legosdn(linear_topology(2, 1), [])
+    if with_sts:
+        runtime.launch_app(_corrupting_factory)      # factory => STS replica
+    else:
+        runtime.launch_app(_corrupting_factory())    # instance => no STS
+    net.run_for(1.0)
+    inject_marker_packet(net, "h1", "h2", "POISON")
+    net.run_for(0.5)
+    for i in range(POST_POISON_EVENTS):
+        inject_marker_packet(net, "h1", "h2", f"flow-{i}")
+        net.run_for(0.3)
+    net.run_for(2.0)
+    record = runtime.record("app")
+    stub = runtime.stub("app")
+    # post-recovery health probe: 4 more events
+    crashes_before_probe = record.crash_count
+    for i in range(4):
+        inject_marker_packet(net, "h1", "h2", f"probe-{i}")
+        net.run_for(0.4)
+    return {
+        "crashes": record.crash_count,
+        "crashes_during_probe": record.crash_count - crashes_before_probe,
+        "deep_restores": record.deep_restores,
+        "sts_runs": stub.sts_runs,
+        "events_skipped": record.events_skipped,
+        "alive": record.status is AppStatus.UP,
+        "events_completed": record.events_completed,
+        "reach": net.reachability(wait=1.0),
+    }
+
+
+def test_e13_cumulative_bug_recovery(benchmark):
+    def experiment():
+        return {
+            "plain restore only": _run(with_sts=False),
+            "STS deep restore": _run(with_sts=True),
+        }
+
+    r = run_once(benchmark, experiment)
+    print_table(
+        "E13: state-corruption bug spanning transactions "
+        f"({POST_POISON_EVENTS} events after the poison)",
+        ["recovery", "crashes", "skipped", "deep restores",
+         "still crashing?", "alive", "reach"],
+        [[name, row["crashes"], row["events_skipped"],
+          row["deep_restores"],
+          "YES" if row["crashes_during_probe"] else "no",
+          "yes" if row["alive"] else "NO", f"{row['reach']:.0%}"]
+         for name, row in r.items()],
+    )
+    benchmark.extra_info["results"] = r
+
+    plain, sts = r["plain restore only"], r["STS deep restore"]
+    # Both keep the app nominally alive and the controller safe.
+    assert plain["alive"] and sts["alive"]
+    # Plain restores never fix the poison: the app keeps crashing on
+    # every event, including the post-run probes.
+    assert plain["deep_restores"] == 0
+    assert plain["crashes"] > sts["crashes"]
+    assert plain["crashes_during_probe"] > 0
+    # The STS path converges: one escalation, poison pruned, and the
+    # probe events process cleanly.
+    assert sts["deep_restores"] >= 1
+    assert sts["sts_runs"] >= 1
+    assert sts["crashes_during_probe"] == 0
+    assert sts["reach"] == 1.0

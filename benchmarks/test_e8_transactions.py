@@ -1,0 +1,78 @@
+"""E8: atomic network updates (§3.4).
+
+"When an application crashes after installing a few rules, it is not
+clear whether the few rules issued were part of a larger set (in which
+case the transaction is incomplete), or not.  LegoSDN can easily
+detect such ambiguities and roll back only when required."
+
+Sweep the crash point across a 5-switch policy installation (crash
+after 0..4 rules, plus the no-crash control).  Compare the naive
+baseline (monolithic: whatever was sent, stays) against LegoSDN's
+transactional semantics.
+
+Expected shape: the naive baseline leaves exactly ``crash_after``
+orphan rules; LegoSDN leaves 0 for every incomplete transaction and
+exactly 5 for the complete one ("roll back only when required").
+"""
+
+from repro.faults import PartialPolicyApp
+from repro.network.topology import linear_topology
+from repro.workloads.traffic import inject_marker_packet
+
+from benchmarks.harness import build_legosdn, build_monolithic, print_table, run_once
+
+POLICY_SWITCHES = (1, 2, 3, 4, 5)
+CRASH_POINTS = (0, 1, 2, 3, 4, None)  # None = complete, no crash
+
+
+def _run(kind, crash_after):
+    app = PartialPolicyApp(policy_dpids=POLICY_SWITCHES,
+                           crash_after=crash_after)
+    topo = linear_topology(5, 1)
+    if kind == "monolithic":
+        net, runtime = build_monolithic(topo, [lambda: app])
+    else:
+        net, runtime = build_legosdn(topo, [app], mode=kind)
+    inject_marker_packet(net, "h1", "h5", "POLICY")
+    net.run_for(2.0)
+    return net.total_flow_entries()
+
+
+def test_e8_atomic_updates(benchmark):
+    def experiment():
+        results = {}
+        for crash_after in CRASH_POINTS:
+            results[crash_after] = {
+                kind: _run(kind, crash_after)
+                for kind in ("monolithic", "netlog", "buffer")
+            }
+        return results
+
+    r = run_once(benchmark, experiment)
+    rows = []
+    for crash_after in CRASH_POINTS:
+        label = ("complete (no crash)" if crash_after is None
+                 else f"crash after {crash_after}/5")
+        row = r[crash_after]
+        rows.append([label, row["monolithic"], row["netlog"], row["buffer"]])
+    print_table(
+        "E8: rules left installed after a 5-switch policy transaction",
+        ["transaction outcome", "naive (monolithic)", "legosdn/netlog",
+         "legosdn/buffer"],
+        rows,
+    )
+    benchmark.extra_info["results"] = {
+        str(k): v for k, v in r.items()}
+
+    for crash_after in CRASH_POINTS:
+        row = r[crash_after]
+        if crash_after is None:
+            # Complete transactions commit everywhere: roll back only
+            # when required.
+            assert row["monolithic"] == row["netlog"] == row["buffer"] == 5
+        else:
+            # Naive leaves exactly the partial prefix; LegoSDN leaves
+            # nothing, in both modes.
+            assert row["monolithic"] == crash_after
+            assert row["netlog"] == 0
+            assert row["buffer"] == 0

@@ -1,0 +1,128 @@
+"""Table 1 reproduction: the SDN stack and its fate-sharing.
+
+The paper's Table 1 illustrates the canonical stack (application /
+controller / server OS / hardware) and §2.1 observes that in a
+FloodLight-style stack, "failures of any component in the stack
+renders the control plane unavailable".  This bench injects a failure
+at each layer of both stacks and records the blast radius.
+
+Expected shape: in the monolithic stack every layer's failure takes
+the control plane down; under LegoSDN an application failure is
+contained (the rows differ ONLY on the application layer -- LegoSDN
+cannot save you from a dead controller or dead hardware, and does not
+claim to).
+"""
+
+from repro.apps import FlowMonitor, LearningSwitch
+from repro.faults import crash_on
+from repro.network.topology import linear_topology
+from repro.workloads.traffic import inject_marker_packet
+
+from benchmarks.harness import (
+    build_legosdn,
+    build_monolithic,
+    print_table,
+    run_once,
+)
+
+
+def _blast_radius(net, runtime):
+    """Summarise what is still alive after a failure."""
+    return {
+        "controller_up": not net.controller.crashed,
+        "apps_up": len(runtime.live_apps()),
+    }
+
+
+def _inject_app_crash(net):
+    inject_marker_packet(net, "h1", "h3", "BOOM")
+    net.run_for(2.0)
+
+
+def _mono_stack():
+    return build_monolithic(
+        linear_topology(3, 1),
+        [LearningSwitch, FlowMonitor,
+         lambda: crash_on(LearningSwitch(name="buggy"),
+                          payload_marker="BOOM")],
+    )
+
+
+def _lego_stack():
+    return build_legosdn(
+        linear_topology(3, 1),
+        [LearningSwitch(), FlowMonitor(),
+         crash_on(LearningSwitch(name="buggy"), payload_marker="BOOM")],
+    )
+
+
+def _run_layer_failures(build):
+    """Fail each stack layer in a fresh deployment; record blast radii."""
+    results = {}
+
+    # Layer: Application (a bug in one SDN-App)
+    net, runtime = build()
+    _inject_app_crash(net)
+    results["application"] = _blast_radius(net, runtime)
+
+    # Layer: Controller (a bug in controller code itself)
+    net, runtime = build()
+    net.controller.crash(RuntimeError("controller bug"), culprit="controller")
+    net.run_for(0.5)
+    results["controller"] = _blast_radius(net, runtime)
+
+    # Layer: Server OS / hardware (the controller host dies)
+    net, runtime = build()
+    net.controller.crash(RuntimeError("host power loss"), culprit="hardware")
+    net.run_for(0.5)
+    results["server/hardware"] = _blast_radius(net, runtime)
+
+    # Layer: Network device (a switch dies; control plane survives)
+    net, runtime = build()
+    net.switch_down(2)
+    net.run_for(1.0)
+    results["switch"] = _blast_radius(net, runtime)
+    return results
+
+
+def test_table1_stack_fate_sharing(benchmark):
+    def experiment():
+        return {
+            "monolithic": _run_layer_failures(_mono_stack),
+            "legosdn": _run_layer_failures(_lego_stack),
+        }
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for layer in ("application", "controller", "server/hardware", "switch"):
+        mono = results["monolithic"][layer]
+        lego = results["legosdn"][layer]
+        rows.append([
+            layer,
+            "DOWN" if not mono["controller_up"] else "up",
+            mono["apps_up"],
+            "DOWN" if not lego["controller_up"] else "up",
+            lego["apps_up"],
+        ])
+    print_table(
+        "Table 1: failure blast radius per stack layer (3 apps hosted)",
+        ["failed layer", "mono ctrl", "mono apps up",
+         "lego ctrl", "lego apps up"],
+        rows,
+    )
+    benchmark.extra_info["results"] = results
+
+    mono, lego = results["monolithic"], results["legosdn"]
+    # Monolithic: an app bug kills the whole control plane.
+    assert not mono["application"]["controller_up"]
+    assert mono["application"]["apps_up"] == 0
+    # LegoSDN: the app failure is contained; everything else survives.
+    assert lego["application"]["controller_up"]
+    assert lego["application"]["apps_up"] == 3
+    # Both stacks die with the controller/hardware (out of scope for LegoSDN).
+    for layer in ("controller", "server/hardware"):
+        assert not mono[layer]["controller_up"]
+        assert not lego[layer]["controller_up"]
+    # A switch failure kills neither control plane.
+    assert mono["switch"]["controller_up"]
+    assert lego["switch"]["controller_up"]

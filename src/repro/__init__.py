@@ -1,0 +1,62 @@
+"""LegoSDN reproduction.
+
+A production-quality Python reproduction of *Tolerating SDN Application
+Failures with LegoSDN* (Chandrasekaran & Benson, HotNets-XIII, 2014).
+
+The package is organised bottom-up:
+
+- :mod:`repro.openflow` -- OpenFlow-1.0-style protocol substrate
+  (matches, actions, messages, flow tables, the inversion algebra used
+  by NetLog, and byte-level serialisation).
+- :mod:`repro.network` -- a deterministic discrete-event network
+  simulator standing in for Mininet/Open vSwitch.
+- :mod:`repro.controller` -- a FloodLight-style controller core and the
+  monolithic (fate-shared) baseline runtime.
+- :mod:`repro.apps` -- the SDN applications surveyed in the paper's
+  Table 2 and ported in its prototype.
+- :mod:`repro.faults` -- fault-injection framework and the synthetic
+  bug corpus modelled on the FlowScale bug-tracker study.
+- :mod:`repro.invariants` -- a VeriFlow-style network invariant
+  checker (black-holes, loops, reachability).
+- :mod:`repro.core` -- the paper's contribution: AppVisor, NetLog,
+  Crash-Pad, and the LegoSDN runtime that composes them.
+- :mod:`repro.metrics`, :mod:`repro.workloads` -- measurement and
+  workload-generation support used by the benchmark harness.
+
+Quickstart::
+
+    from repro import quickstart_network
+    net, runtime = quickstart_network()
+    net.run_for(1.0)
+
+See ``examples/quickstart.py`` for a complete walk-through.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__", "quickstart_network"]
+
+
+def quickstart_network(app_names=("learning_switch",), seed=0):
+    """Build a small LegoSDN deployment on a linear topology.
+
+    Returns a ``(network, runtime)`` pair: ``network`` is a running
+    :class:`repro.network.net.Network` and ``runtime`` the
+    :class:`repro.core.runtime.LegoSDNRuntime` hosting the named apps.
+
+    This is a convenience wrapper for demos and doctests; real
+    deployments should compose the pieces explicitly as shown in
+    ``examples/``.
+    """
+    from repro.apps import make_app
+    from repro.core.runtime import LegoSDNRuntime
+    from repro.network.net import Network
+    from repro.network.topology import linear_topology
+
+    topo = linear_topology(num_switches=3, hosts_per_switch=1)
+    net = Network(topo, seed=seed)
+    runtime = LegoSDNRuntime(net.controller)
+    for name in app_names:
+        runtime.launch_app(make_app(name))
+    net.start()
+    return net, runtime

@@ -1,0 +1,81 @@
+"""SDN applications (the paper's Table 2 survey + prototype apps).
+
+======================  =================================  ============
+App                     Paper analogue                     Developer
+======================  =================================  ============
+Hub                     FloodLight Hub (prototype, §4.1)   in-house
+Flooder                 FloodLight Flooder (prototype)     in-house
+LearningSwitch          FloodLight LearningSwitch          in-house
+ShortestPathRouting     RouteFlow (routing)                third-party
+LoadBalancer            FlowScale (traffic engineering)    third-party
+Firewall                BigTap (security)                  BigSwitch
+FlowMonitor             Stratos (cloud provisioning-ish)   third-party
+======================  =================================  ============
+
+``make_app`` builds an app by registry name, which the examples and
+benchmark harness use to parameterise runs.
+"""
+
+from repro.apps.base import SDNApp
+from repro.apps.firewall import DenyRule, Firewall
+from repro.apps.flooder import Flooder
+from repro.apps.gateway import VirtualIPGateway
+from repro.apps.hub import Hub
+from repro.apps.learning_switch import LearningSwitch
+from repro.apps.load_balancer import LoadBalancer
+from repro.apps.monitor import FlowMonitor
+from repro.apps.routing import ShortestPathRouting
+from repro.apps.spanning_tree import SpanningTreeSwitch
+
+#: Registry of constructible apps, keyed by their default names.
+APP_REGISTRY = {
+    "hub": Hub,
+    "flooder": Flooder,
+    "learning_switch": LearningSwitch,
+    "routing": ShortestPathRouting,
+    "load_balancer": LoadBalancer,
+    "firewall": Firewall,
+    "monitor": FlowMonitor,
+    "gateway": VirtualIPGateway,
+    "stp_switch": SpanningTreeSwitch,
+}
+
+#: (app name, paper analogue, developer) rows for the Table 2 bench.
+TABLE2_SURVEY = (
+    ("routing", "RouteFlow", "Third-Party", "Routing"),
+    ("load_balancer", "FlowScale", "Third-Party", "Traffic Engineering"),
+    ("firewall", "BigTap", "BigSwitch", "Security"),
+    ("monitor", "Stratos", "Third-Party", "Cloud Provisioning"),
+    ("hub", "Hub", "In-house", "Flooding"),
+    ("flooder", "Flooder", "In-house", "Flooding"),
+    ("learning_switch", "LearningSwitch", "In-house", "L2 Switching"),
+)
+
+
+def make_app(name: str, **kwargs) -> SDNApp:
+    """Instantiate a registered app by name."""
+    try:
+        cls = APP_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; known: {sorted(APP_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "APP_REGISTRY",
+    "DenyRule",
+    "Firewall",
+    "Flooder",
+    "FlowMonitor",
+    "Hub",
+    "LearningSwitch",
+    "LoadBalancer",
+    "SDNApp",
+    "ShortestPathRouting",
+    "SpanningTreeSwitch",
+    "TABLE2_SURVEY",
+    "VirtualIPGateway",
+    "make_app",
+]

@@ -1,0 +1,109 @@
+"""SDN application base class.
+
+Apps are event-driven: the runtime calls :meth:`SDNApp.handle` with
+each event the app subscribed to; ``handle`` routes to per-type hooks
+(``on_packet_in``, ``on_switch_leave``, ...).  Apps emit OpenFlow
+messages through the :class:`~repro.controller.api.AppAPI` they receive
+at startup -- never by touching the controller directly -- which is
+what lets LegoSDN host them unmodified inside a stub.
+
+The checkpoint contract: :meth:`get_state` returns everything mutable
+as a picklable dict and :meth:`set_state` restores it.  The default
+implementation snapshots ``__dict__`` (minus the API handle), which is
+the Python analogue of CRIU checkpointing a whole process image.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.controller.api import Command
+
+_CAMEL_RE = re.compile(r"(?<!^)(?=[A-Z])")
+
+
+def _snake(name: str) -> str:
+    return _CAMEL_RE.sub("_", name).lower()
+
+
+class SDNApp:
+    """Base class for every SDN application."""
+
+    #: Default app name; instances may override via the constructor.
+    name = "app"
+    #: Event type names this app wants (e.g. ``("PacketIn", "PortStatus")``).
+    subscriptions = ()
+
+    #: Attributes excluded from checkpoints (runtime wiring, not state).
+    _NON_STATE = frozenset({"api"})
+
+    def __init__(self, name: Optional[str] = None):
+        if name is not None:
+            self.name = name
+        self.api = None
+        self.events_handled = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def startup(self, api) -> None:
+        """Called once by the runtime before any event is delivered."""
+        self.api = api
+        self.on_start()
+
+    def on_start(self) -> None:
+        """Hook for subclasses (proactive rule installation etc.)."""
+
+    # -- event dispatch -----------------------------------------------------
+
+    def handle(self, event) -> Optional[Command]:
+        """Route ``event`` to its ``on_<type>`` hook.
+
+        Returns the hook's :class:`Command` (``None`` means CONTINUE).
+        Exceptions are deliberately NOT caught here: whether an app bug
+        crashes the controller is the runtime's decision, and the whole
+        point of the paper.
+        """
+        self.events_handled += 1
+        handler = getattr(self, "on_" + _snake(event.type_name), None)
+        if handler is None:
+            return None
+        return handler(event)
+
+    # -- checkpoint contract ---------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Everything needed to reconstruct this app's progress."""
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in self._NON_STATE
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        api = self.api
+        self.__dict__.clear()
+        self.__dict__.update(state)
+        self.api = api
+
+    @staticmethod
+    def packet_out_for(event, actions) -> "PacketOut":
+        """Build the PacketOut that answers a PacketIn.
+
+        Prefers the switch-side buffer (``event.buffer_id``) so the
+        packet body never rides the control channel again; falls back
+        to inlining the packet when the switch did not buffer it.
+        """
+        from repro.openflow.messages import PacketOut
+
+        buffer_id = getattr(event, "buffer_id", None)
+        return PacketOut(
+            packet=None if buffer_id is not None else event.packet,
+            in_port=event.in_port,
+            actions=tuple(actions),
+            buffer_id=buffer_id,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, events={self.events_handled})"

@@ -1,0 +1,40 @@
+"""Flooder: proactively install a flood-all rule on every switch.
+
+Ported to the LegoSDN prototype alongside Hub and LearningSwitch.  The
+flooder touches the controller only at switch join time, making it the
+low-control-traffic counterpoint to :class:`~repro.apps.hub.Hub`.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import SDNApp
+from repro.openflow.actions import Flood
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+
+
+class Flooder(SDNApp):
+    """One wildcard flood rule per switch, installed at join."""
+
+    name = "flooder"
+    subscriptions = ("SwitchJoin",)
+
+    #: Priority of the installed wildcard rule (low, so more specific
+    #: rules from other apps win).
+    FLOOD_PRIORITY = 1
+
+    def __init__(self, name=None):
+        super().__init__(name)
+        self.rules_installed = 0
+
+    def on_switch_join(self, event):
+        self.api.emit(
+            event.dpid,
+            FlowMod(
+                match=Match(),
+                command=FlowModCommand.ADD,
+                priority=self.FLOOD_PRIORITY,
+                actions=(Flood(),),
+            ),
+        )
+        self.rules_installed += 1

@@ -1,0 +1,29 @@
+"""Hub: flood every packet via the controller.
+
+The simplest possible reactive app (bundled with FloodLight and ported
+to the LegoSDN prototype).  Every packet is punted to the controller
+and flooded with a PacketOut -- no flow rules are ever installed, so
+the hub exercises the control loop on every single packet, which makes
+it the natural workload for the E2 latency experiment.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import SDNApp
+from repro.openflow.actions import Flood
+from repro.openflow.messages import PacketOut
+
+
+class Hub(SDNApp):
+    """Flood everything, learn nothing."""
+
+    name = "hub"
+    subscriptions = ("PacketIn",)
+
+    def __init__(self, name=None):
+        super().__init__(name)
+        self.packets_flooded = 0
+
+    def on_packet_in(self, event):
+        self.packets_flooded += 1
+        self.api.emit(event.dpid, self.packet_out_for(event, (Flood(),)))

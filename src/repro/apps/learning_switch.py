@@ -1,0 +1,75 @@
+"""LearningSwitch: classic reactive L2 learning.
+
+The canonical stateful SDN-App (and one of the three the paper's
+prototype ported).  Its MAC table is exactly the kind of state a
+reboot-based recovery loses and Crash-Pad's checkpoints preserve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.base import SDNApp
+from repro.openflow.actions import Flood, Output
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand, PacketOut
+
+
+class LearningSwitch(SDNApp):
+    """Learn source MACs; install exact-match rules for known pairs."""
+
+    name = "learning_switch"
+    subscriptions = ("PacketIn", "SwitchLeave")
+
+    #: Idle timeout (seconds) on installed rules, FloodLight's default
+    #: scaled to simulation time.
+    IDLE_TIMEOUT = 5.0
+    PRIORITY = 100
+
+    def __init__(self, name=None):
+        super().__init__(name)
+        # dpid -> {mac -> port}
+        self.mac_tables: Dict[int, Dict[str, int]] = {}
+        self.flows_installed = 0
+        self.floods = 0
+
+    def on_packet_in(self, event):
+        packet = event.packet
+        table = self.mac_tables.setdefault(event.dpid, {})
+        table[packet.eth_src] = event.in_port
+        out_port = table.get(packet.eth_dst)
+        if out_port == event.in_port:
+            # Never forward a frame back out its ingress port: the
+            # entry is stale (the host moved, or transitional flooding
+            # taught us nonsense).  Drop it and fall back to flooding,
+            # which relearns the truth.
+            table.pop(packet.eth_dst, None)
+            out_port = None
+        if out_port is None or packet.is_broadcast():
+            self.floods += 1
+            self.api.emit(event.dpid,
+                          self.packet_out_for(event, (Flood(),)))
+            return
+        # Known destination: install a flow and forward this packet.
+        self.flows_installed += 1
+        self.api.emit(
+            event.dpid,
+            FlowMod(
+                match=Match(in_port=event.in_port,
+                            eth_src=packet.eth_src,
+                            eth_dst=packet.eth_dst),
+                command=FlowModCommand.ADD,
+                priority=self.PRIORITY,
+                actions=(Output(out_port),),
+                idle_timeout=self.IDLE_TIMEOUT,
+            ),
+        )
+        self.api.emit(event.dpid,
+                      self.packet_out_for(event, (Output(out_port),)))
+
+    def on_switch_leave(self, event):
+        """Forget everything learned on a dead switch."""
+        self.mac_tables.pop(event.dpid, None)
+
+    def learned_macs(self, dpid: int) -> Dict[str, int]:
+        return dict(self.mac_tables.get(dpid, {}))

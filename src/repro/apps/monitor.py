@@ -1,0 +1,48 @@
+"""FlowMonitor: a stateful monitoring app (Stratos-flavoured).
+
+Accumulates per-host-pair flow and byte statistics from PacketIns and
+FlowRemoved notifications.  Its monotonically growing state makes it
+the canary for state-loss experiments: after a monolithic restart its
+tallies reset to zero; after a Crash-Pad recovery they survive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.base import SDNApp
+
+
+class FlowMonitor(SDNApp):
+    """Passive observer: counts flows and bytes per (src, dst) MAC pair."""
+
+    name = "monitor"
+    subscriptions = ("PacketIn", "FlowRemoved")
+
+    def __init__(self, name=None):
+        super().__init__(name)
+        # (src_mac, dst_mac) -> packets observed at the controller
+        self.pair_packets: Dict[Tuple[str, str], int] = {}
+        # dpid -> bytes reported by FlowRemoved
+        self.bytes_by_switch: Dict[int, int] = {}
+        self.flow_removed_seen = 0
+
+    def on_packet_in(self, event):
+        packet = event.packet
+        key = (packet.eth_src, packet.eth_dst)
+        self.pair_packets[key] = self.pair_packets.get(key, 0) + 1
+
+    def on_flow_removed(self, event):
+        self.flow_removed_seen += 1
+        self.bytes_by_switch[event.dpid] = (
+            self.bytes_by_switch.get(event.dpid, 0) + event.byte_count
+        )
+
+    def total_observations(self) -> int:
+        return sum(self.pair_packets.values())
+
+    def top_talkers(self, n: int = 5):
+        """The ``n`` busiest (src, dst) pairs, busiest first."""
+        ranked = sorted(self.pair_packets.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return ranked[:n]

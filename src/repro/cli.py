@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives operators the common workflows without writing a script:
+
+- ``demo``          -- the quickstart crash/recovery walk-through
+- ``drill``         -- a parameterised fault drill on a chosen topology
+- ``bug-study``     -- replay a synthetic bug corpus (the E1 experiment)
+- ``check-policy``  -- validate a compromise-policy file
+- ``show-topology`` -- describe a builder topology
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+TOPOLOGIES = ("linear", "ring", "tree", "mesh", "fattree")
+
+
+def _build_topology(name: str, size: int):
+    from repro.network import topology as topo_mod
+
+    if name == "linear":
+        return topo_mod.linear_topology(size, 1)
+    if name == "ring":
+        return topo_mod.ring_topology(max(size, 3), 1)
+    if name == "tree":
+        return topo_mod.tree_topology(depth=2, fanout=max(size // 2, 2),
+                                      hosts_per_leaf=1)
+    if name == "mesh":
+        return topo_mod.mesh_topology(size, 1)
+    if name == "fattree":
+        return topo_mod.fat_tree_topology(size if size % 2 == 0 else size + 1)
+    raise ValueError(f"unknown topology {name!r}")
+
+
+def cmd_demo(args) -> int:
+    """The quickstart scenario: contain a crash, recover, show a ticket."""
+    from repro.apps import LearningSwitch
+    from repro.core.runtime import LegoSDNRuntime
+    from repro.faults import crash_on
+    from repro.network.net import Network
+    from repro.workloads.traffic import inject_marker_packet
+
+    net = Network(_build_topology(args.topology, args.size), seed=args.seed)
+    runtime = LegoSDNRuntime(net.controller)
+    runtime.launch_app(crash_on(LearningSwitch(), payload_marker="BOOM"))
+    net.start()
+    net.run_for(1.5)
+    print(f"reachability (healthy): {net.reachability():.0%}")
+    net.run_for(LearningSwitch.IDLE_TIMEOUT + 1.0)
+    hosts = sorted(net.hosts)
+    inject_marker_packet(net, hosts[0], hosts[-1], "BOOM")
+    net.run_for(2.0)
+    stats = runtime.stats()["learning_switch"]
+    print(f"app crashes: {stats['crashes']}, recoveries: "
+          f"{stats['recoveries']}, controller up: {runtime.is_up}")
+    print(f"reachability (after recovery): {net.reachability(wait=1.0):.0%}")
+    if runtime.tickets.all():
+        print()
+        print(runtime.tickets.all()[0].render())
+    return 0
+
+
+def cmd_drill(args) -> int:
+    """A fault drill: traffic + scripted failures on a chosen runtime."""
+    from repro.apps import make_app
+    from repro.controller.monolithic import MonolithicRuntime
+    from repro.core.crashpad.policy_lang import PolicyTable
+    from repro.core.runtime import LegoSDNRuntime
+    from repro.network.net import Network
+    from repro.workloads.failure import FailureSchedule
+    from repro.workloads.traffic import TrafficWorkload
+
+    net = Network(_build_topology(args.topology, args.size), seed=args.seed)
+    if args.runtime == "legosdn":
+        policy_table = None
+        if args.policy:
+            with open(args.policy) as fh:
+                policy_table = PolicyTable.parse(fh.read())
+        runtime = LegoSDNRuntime(net.controller, policy_table=policy_table,
+                                 mode=args.mode)
+        for name in args.apps:
+            runtime.launch_app(make_app(name))
+    else:
+        runtime = MonolithicRuntime(net.controller, auto_restart=True)
+        for name in args.apps:
+            runtime.launch_app(lambda n=name: make_app(n))
+    net.start()
+    net.run_for(1.5)
+    TrafficWorkload(net, rate=args.rate).start(args.duration * 0.8)
+    schedule = FailureSchedule()
+    dpids = list(net.switches)
+    if len(dpids) >= 2:
+        schedule.link_down(args.duration * 0.3, dpids[0], dpids[1])
+        schedule.link_up(args.duration * 0.6, dpids[0], dpids[1])
+    schedule.apply(net)
+    net.run_for(args.duration)
+    print(f"drill complete at t={net.now:.1f}s")
+    print(f"  controller up:  {not net.controller.crashed}")
+    print(f"  reachability:   {net.reachability(wait=1.0):.0%}")
+    if args.runtime == "legosdn":
+        for name, stats in sorted(runtime.stats().items()):
+            print(f"  {name}: {stats}")
+        print(f"  tickets: {len(runtime.tickets)}")
+        if args.report:
+            from repro.report import write_report
+
+            write_report(args.report, net, runtime,
+                         title="LegoSDN fault-drill report")
+            print(f"  report written to {args.report}")
+    else:
+        print(f"  controller crashes: {runtime.crash_count}, "
+              f"restarts: {runtime.restart_count}")
+    return 0
+
+
+def cmd_bug_study(args) -> int:
+    """Replay a synthetic bug corpus and report the catastrophic rate."""
+    from repro.faults import make_bug_corpus
+
+    corpus = make_bug_corpus(n=args.count,
+                             catastrophic_fraction=args.catastrophic,
+                             seed=args.seed)
+    by_kind = {}
+    for bug in corpus:
+        by_kind[bug.kind.value] = by_kind.get(bug.kind.value, 0) + 1
+    print(f"corpus: {args.count} bugs, seed {args.seed}")
+    for kind, count in sorted(by_kind.items()):
+        print(f"  {kind:<18} {count}")
+    catastrophic = sum(1 for b in corpus if b.is_catastrophic())
+    deterministic = sum(1 for b in corpus if b.deterministic)
+    print(f"catastrophic: {catastrophic}/{args.count} "
+          f"({catastrophic / args.count:.0%}) -- paper reports 16%")
+    print(f"deterministic: {deterministic}/{args.count}")
+    return 0
+
+
+def cmd_check_policy(args) -> int:
+    """Parse a compromise-policy file; print the effective table."""
+    from repro.core.crashpad.policy_lang import PolicyParseError, PolicyTable
+
+    try:
+        with open(args.file) as fh:
+            table = PolicyTable.parse(fh.read())
+    except (OSError, PolicyParseError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(table.rules)} rule(s)")
+    print(table.render())
+    for app, event in (("firewall", "PacketIn"), ("routing", "SwitchLeave"),
+                       ("anything", "PacketIn")):
+        print(f"  lookup({app}, {event}) -> "
+              f"{table.lookup(app, event).value}")
+    return 0
+
+
+def cmd_show_topology(args) -> int:
+    topo = _build_topology(args.topology, args.size)
+    print(f"{topo.name}: {len(topo.switches)} switches, "
+          f"{len(topo.hosts)} hosts, {len(topo.switch_links)} links")
+    for a, b in topo.switch_links:
+        print(f"  s{a} -- s{b}")
+    for host in topo.hosts:
+        print(f"  {host.name} ({host.ip}) @ s{host.dpid}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LegoSDN reproduction command-line interface",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_topo_args(p):
+        p.add_argument("--topology", choices=TOPOLOGIES, default="linear")
+        p.add_argument("--size", type=int, default=3)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_demo = sub.add_parser("demo", help=cmd_demo.__doc__)
+    add_topo_args(p_demo)
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_drill = sub.add_parser("drill", help=cmd_drill.__doc__)
+    add_topo_args(p_drill)
+    p_drill.add_argument("--runtime", choices=("legosdn", "monolithic"),
+                         default="legosdn")
+    p_drill.add_argument("--mode", choices=("netlog", "buffer"),
+                         default="netlog")
+    p_drill.add_argument("--apps", nargs="+",
+                         default=["learning_switch", "monitor"])
+    p_drill.add_argument("--policy", help="compromise-policy file")
+    p_drill.add_argument("--duration", type=float, default=10.0)
+    p_drill.add_argument("--rate", type=float, default=50.0)
+    p_drill.add_argument("--report",
+                         help="write a markdown incident report here "
+                              "(legosdn runtime only)")
+    p_drill.set_defaults(func=cmd_drill)
+
+    p_bugs = sub.add_parser("bug-study", help=cmd_bug_study.__doc__)
+    p_bugs.add_argument("--count", type=int, default=100)
+    p_bugs.add_argument("--catastrophic", type=float, default=0.16)
+    p_bugs.add_argument("--seed", type=int, default=0)
+    p_bugs.set_defaults(func=cmd_bug_study)
+
+    p_policy = sub.add_parser("check-policy", help=cmd_check_policy.__doc__)
+    p_policy.add_argument("file")
+    p_policy.set_defaults(func=cmd_check_policy)
+
+    p_topo = sub.add_parser("show-topology", help=cmd_show_topology.__doc__)
+    add_topo_args(p_topo)
+    p_topo.set_defaults(func=cmd_show_topology)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""FloodLight-style controller core and the monolithic baseline runtime.
+
+The controller implements the listener-dispatch contract LegoSDN
+relies on: SDN-Apps subscribe to event types, the controller dispatches
+events in registration order, and a listener may stop the chain.  The
+monolithic runtime (:mod:`repro.controller.monolithic`) reproduces the
+fate-sharing the paper attacks: an unhandled exception in any app
+crashes the controller and every other app.
+"""
+
+from repro.controller.api import AppAPI, Command, HostEntry, TopoView
+from repro.controller.core import Controller
+from repro.controller.events import (
+    AppCrashed,
+    ControllerEvent,
+    LinkDiscovered,
+    LinkRemoved,
+    SwitchJoin,
+    SwitchLeave,
+)
+from repro.controller.monolithic import MonolithicRuntime
+
+__all__ = [
+    "AppAPI",
+    "AppCrashed",
+    "Command",
+    "Controller",
+    "ControllerEvent",
+    "HostEntry",
+    "LinkDiscovered",
+    "LinkRemoved",
+    "MonolithicRuntime",
+    "SwitchJoin",
+    "SwitchLeave",
+    "TopoView",
+]

@@ -1,0 +1,249 @@
+"""The controller core.
+
+Implements the dispatch contract shared by both runtimes: SDN-Apps (or
+the AppVisor proxy) register listeners for event type names; the
+controller delivers each switch message / controller event to the
+subscribed listeners in registration order; a listener may stop the
+chain (FloodLight's ``Command.STOP``).
+
+Fate-sharing is modelled exactly as the paper describes it: an
+exception escaping a listener is an *unhandled exception in the
+controller process*, so :meth:`Controller.crash` takes the whole
+control plane down.  The monolithic runtime registers raw app handlers
+(so app bugs kill the controller); the AppVisor proxy never lets an
+exception escape (so they don't).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.controller.api import Command
+from repro.controller.channel import ControlChannel
+from repro.controller.events import SwitchJoin, SwitchLeave
+from repro.controller.services import (
+    CounterStore,
+    DeviceManager,
+    LinkDiscoveryService,
+    TopologyService,
+)
+from repro.openflow.messages import PacketIn, PortStatus
+
+
+@dataclass
+class ListenerReg:
+    """One registered listener: a name, its subscriptions, a callback."""
+
+    name: str
+    types: FrozenSet[str]
+    callback: Callable
+
+    def wants(self, type_name: str) -> bool:
+        return type_name in self.types
+
+
+@dataclass
+class CrashRecord:
+    """One controller crash, for the availability accounting and tickets."""
+
+    time: float
+    culprit: str
+    exception: str
+    traceback_text: str = ""
+
+
+class Controller:
+    """A FloodLight-style SDN controller."""
+
+    def __init__(self, sim, control_delay: float = 0.0005,
+                 discovery_interval: float = 0.5):
+        self.sim = sim
+        self.control_delay = control_delay
+        self.channels: Dict[int, ControlChannel] = {}
+        self.listeners: List[ListenerReg] = []
+        self.crashed = False
+        self.crash_records: List[CrashRecord] = []
+        self.reboot_times: List[float] = []
+        self.crash_callbacks: List[Callable] = []
+        self.started = False
+        self.messages_received = 0
+        self.messages_sent = 0
+        # services
+        self.topology = TopologyService(self)
+        self.devices = DeviceManager(self)
+        self.counters = CounterStore()
+        self.discovery = LinkDiscoveryService(self, interval=discovery_interval)
+
+    # -- switch lifecycle --------------------------------------------------
+
+    def connect_switch(self, switch) -> ControlChannel:
+        """Attach a switch (the OpenFlow handshake, condensed)."""
+        if switch.dpid in self.channels:
+            raise ValueError(f"dpid {switch.dpid} already connected")
+        channel = ControlChannel(self.sim, self, switch, delay=self.control_delay)
+        self.channels[switch.dpid] = channel
+        self.topology.switch_joined(switch.dpid)
+        if self.started:
+            self.dispatch(SwitchJoin(switch.dpid))
+        return channel
+
+    def connected_dpids(self) -> List[int]:
+        return sorted(
+            dpid for dpid, ch in self.channels.items()
+            if ch.connected and ch.switch.up
+        )
+
+    def switch_disconnected(self, dpid: int) -> None:
+        """Channel teardown observed: the "switch down" event."""
+        if self.crashed:
+            return
+        self.topology.switch_left(dpid)
+        self.dispatch(SwitchLeave(dpid))
+
+    def switch_reconnected(self, dpid: int) -> None:
+        if self.crashed:
+            return
+        self.topology.switch_joined(dpid)
+        self.dispatch(SwitchJoin(dpid))
+
+    # -- startup -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin operation: announce switches, start link discovery."""
+        if self.started:
+            return
+        self.started = True
+        self.discovery.start()
+        for dpid in self.connected_dpids():
+            self.dispatch(SwitchJoin(dpid))
+
+    # -- message plumbing ------------------------------------------------------
+
+    def handle_switch_message(self, dpid: int, msg) -> None:
+        """Entry point for switch->controller messages."""
+        if self.crashed:
+            return
+        self.messages_received += 1
+        if isinstance(msg, PacketIn) and msg.packet is not None:
+            if msg.packet.is_lldp():
+                # Discovery consumes LLDP; apps never see probe frames.
+                self.discovery.handle_lldp(dpid, msg)
+                return
+            self.devices.learn(dpid, msg)
+        if isinstance(msg, PortStatus):
+            self.topology.handle_port_status(msg)
+        self.dispatch(msg)
+
+    def dispatch(self, event) -> None:
+        """Deliver ``event`` to subscribed listeners, in order.
+
+        An exception from a listener is an unhandled exception in the
+        controller process: the controller crashes (the fate-sharing
+        relationship this paper exists to remove).
+        """
+        if self.crashed:
+            return
+        type_name = event.type_name
+        for reg in list(self.listeners):
+            if not reg.wants(type_name):
+                continue
+            try:
+                cmd = reg.callback(event)
+            except Exception as exc:  # noqa: BLE001 - modelling fate-sharing
+                self.crash(exc, culprit=reg.name)
+                return
+            if cmd is Command.STOP:
+                break
+
+    def send_to_switch(self, dpid: int, msg) -> bool:
+        """Send a message to a switch over its control channel."""
+        if self.crashed:
+            return False
+        channel = self.channels.get(dpid)
+        if channel is None:
+            return False
+        if channel.to_switch(msg):
+            self.messages_sent += 1
+            return True
+        return False
+
+    # -- listeners ----------------------------------------------------------
+
+    def register_listener(self, name: str, types, callback) -> None:
+        """Subscribe ``callback`` to the given event type names."""
+        if any(reg.name == name for reg in self.listeners):
+            raise ValueError(f"listener {name!r} already registered")
+        self.listeners.append(
+            ListenerReg(name=name, types=frozenset(types), callback=callback)
+        )
+
+    def unregister_listener(self, name: str) -> bool:
+        before = len(self.listeners)
+        self.listeners = [reg for reg in self.listeners if reg.name != name]
+        return len(self.listeners) != before
+
+    # -- crash / reboot ---------------------------------------------------------
+
+    def crash(self, exc: Exception, culprit: str = "controller") -> None:
+        """The controller process dies: channels freeze, dispatch stops."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_records.append(
+            CrashRecord(
+                time=self.sim.now,
+                culprit=culprit,
+                exception=f"{type(exc).__name__}: {exc}",
+                traceback_text="".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+            )
+        )
+        for channel in self.channels.values():
+            channel.connected = False  # sessions drop silently; process is gone
+        for callback in list(self.crash_callbacks):
+            callback(exc, culprit)
+
+    def reboot(self) -> None:
+        """Restart the controller process.
+
+        Services relearn their state from scratch (discovery rounds,
+        PacketIns); whoever reboots us is responsible for re-registering
+        listeners -- a monolithic reboot re-instantiates apps with
+        fresh state, which is exactly the state-loss problem LegoSDN's
+        isolation avoids (§3.4, "Controller Upgrades").
+        """
+        self.crashed = False
+        self.reboot_times.append(self.sim.now)
+        self.topology.reset()
+        self.devices.reset()
+        for dpid, channel in self.channels.items():
+            if channel.switch.up:
+                channel.connected = True
+                self.topology.switch_joined(dpid)
+        for dpid in self.connected_dpids():
+            self.dispatch(SwitchJoin(dpid))
+
+    # -- availability -------------------------------------------------------------
+
+    def uptime_fraction(self, window_start: float, window_end: float) -> float:
+        """Fraction of [window_start, window_end] the controller was up.
+
+        Computed from crash records; a crash with no subsequent reboot
+        counts as down through ``window_end``.  Reboots are detected by
+        interleaving crash times with the current state.
+        """
+        if window_end <= window_start:
+            return 1.0
+        down_total = 0.0
+        for record in self.crash_records:
+            recoveries = [t for t in self.reboot_times if t >= record.time]
+            recovered_at = min(recoveries) if recoveries else window_end
+            start = max(record.time, window_start)
+            end = min(recovered_at, window_end)
+            if end > start:
+                down_total += end - start
+        span = window_end - window_start
+        return max(0.0, 1.0 - down_total / span)

@@ -1,0 +1,40 @@
+"""AppVisor: the isolation layer between SDN-Apps and the controller (§3.1, §4.1).
+
+Two halves, as in the paper:
+
+- the **proxy** (:mod:`repro.core.appvisor.proxy`) runs as a regular
+  SDN-App inside the controller, holds the per-app subscription table,
+  and dispatches events to stubs;
+- the **stub** (:mod:`repro.core.appvisor.stub`) is a stand-alone
+  wrapper hosting one SDN-App in its own sandboxed process
+  (:mod:`repro.core.appvisor.isolation`).
+
+Proxy and stub speak a serialised RPC protocol
+(:mod:`repro.core.appvisor.rpc`) over a simulated UDP channel
+(:mod:`repro.core.appvisor.channel`), and the stub sends periodic
+heartbeats so the proxy detects crashes quickly.
+"""
+
+from repro.core.appvisor.channel import UdpChannel
+from repro.core.appvisor.isolation import (
+    DeliveryOutcome,
+    ProcessState,
+    ResourceLimitExceeded,
+    ResourceLimits,
+    SandboxProcess,
+)
+from repro.core.appvisor.proxy import AppVisorProxy, AppStatus
+from repro.core.appvisor.stub import AppVisorStub, StubAPI
+
+__all__ = [
+    "AppStatus",
+    "AppVisorProxy",
+    "AppVisorStub",
+    "DeliveryOutcome",
+    "ProcessState",
+    "ResourceLimitExceeded",
+    "ResourceLimits",
+    "SandboxProcess",
+    "StubAPI",
+    "UdpChannel",
+]

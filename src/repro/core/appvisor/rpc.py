@@ -1,0 +1,167 @@
+"""The proxy<->stub RPC protocol.
+
+"The stub is a light-weight wrapper around the actual SDN-App and
+converts all calls from the SDN-App to the controller to messages
+which are then delivered to the proxy. ... In other words, the stub
+and proxy implement a simple RPC-like mechanism." (§4.1)
+
+Every frame is a registered dataclass serialised with the byte codec
+from :mod:`repro.openflow.serialization`, so crossing the boundary has
+a real, measurable wire cost (charged by the channel's latency model).
+
+Frame inventory (direction):
+
+==================  ===========  =========================================
+Frame               Direction    Purpose
+==================  ===========  =========================================
+Register            stub->proxy  announce app + subscriptions
+EventDeliver        proxy->stub  deliver one subscribed event
+AppOutput           stub->proxy  one message the app emitted (streamed)
+EventComplete       stub->proxy  the event was handled successfully
+CrashReport         stub->proxy  the app raised; diagnostics attached
+Heartbeat           stub->proxy  periodic liveness beacon
+RestoreCommand      proxy->stub  restore to pre-event checkpoint
+RestoreAck          stub->proxy  restore finished (replay stats attached)
+ContextPush         proxy->stub  topology/host cache refresh
+==================  ===========  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.controller.api import HostEntry, TopoView
+from repro.openflow.serialization import (
+    decode_value,
+    encode_value,
+    register_dataclass,
+)
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class Register:
+    app_name: str
+    subscriptions: Tuple[str, ...]
+    #: Whether the stub can run STS deep restores (it has a replica
+    #: factory for probe runs).
+    supports_deep_restore: bool = False
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class EventDeliver:
+    app_name: str
+    seq: int
+    event: object
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class AppOutput:
+    """One emission, streamed as the app produces it.
+
+    Streaming (rather than batching into EventComplete) is what makes
+    mid-transaction crashes real: when the app dies after emitting k of
+    n messages, the proxy has already applied k -- and NetLog must roll
+    them back.
+    """
+
+    app_name: str
+    seq: int
+    index: int
+    dpid: int
+    message: object
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class EventComplete:
+    app_name: str
+    seq: int
+    output_count: int
+    counter_deltas: Tuple[Tuple[str, int], ...] = ()
+    log_lines: Tuple[str, ...] = ()
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class CrashReport:
+    app_name: str
+    seq: int
+    error: str
+    traceback_text: str = ""
+    log_lines: Tuple[str, ...] = ()
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class Heartbeat:
+    app_name: str
+    stub_time: float
+    last_seq_done: int
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class RestoreCommand:
+    """Restore the app to its state before ``offending_seq``.
+
+    ``drop_seqs`` lists other in-flight events invalidated by the
+    failure (concurrency lanes): the proxy re-delivers them with fresh
+    seqs, so the stub must forget their journal entries.
+    """
+
+    app_name: str
+    offending_seq: int
+    drop_seqs: Tuple[int, ...] = ()
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class DeepRestoreCommand:
+    """Escalated recovery for cumulative bugs (§5).
+
+    Issued when plain restore-and-skip keeps failing (the app crashes
+    again right after every recovery, i.e. its *checkpointed state* is
+    poisoned).  The stub runs the STS search over its checkpoint
+    history and journal, prunes the causal events, and rolls back to
+    the newest checkpoint that replays clean.
+    """
+
+    app_name: str
+    offending_seq: int
+    drop_seqs: Tuple[int, ...] = ()
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class RestoreAck:
+    app_name: str
+    restored_before_seq: int
+    replayed_events: int
+    restore_cost: float
+    ok: bool = True
+    error: str = ""
+    #: Event seqs the STS search identified as a cumulative bug's
+    #: causal set (pruned from future replays).  Empty for the common
+    #: single-event case.
+    sts_culprits: Tuple[int, ...] = ()
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class ContextPush:
+    topo: TopoView
+    hosts: Tuple[HostEntry, ...]
+
+
+def encode_frame(frame) -> bytes:
+    """Serialise a frame for the wire."""
+    return encode_value(frame)
+
+
+def decode_frame(data: bytes):
+    """Parse a frame off the wire."""
+    return decode_value(data)

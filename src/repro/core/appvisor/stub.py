@@ -1,0 +1,475 @@
+"""The AppVisor stub: the stand-alone host for one SDN-App (§4.1).
+
+"The stub is a stand-alone Java application that launches an SDN-App.
+Once started the stub connects to the proxy and registers the SDN-App,
+and its subscriptions ... The stub is a light-weight wrapper around
+the actual SDN-App and converts all calls from the SDN-App to the
+controller to messages which are then delivered to the proxy."
+
+The stub also implements Crash-Pad's mechanics on the app side:
+
+- a checkpoint is taken before dispatching an event into the sandbox
+  (every event by default; every ``checkpoint_interval`` events with
+  the §5 replay extension), with the modelled CRIU cost charged in
+  simulated time;
+- on a RestoreCommand it reloads the right checkpoint, replays the
+  journalled events with outputs suppressed, and revives the sandbox.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.controller.api import AppAPI, HostEntry, TopoView
+from repro.core.appvisor import rpc
+from repro.core.appvisor.isolation import (
+    ResourceLimitExceeded,
+    ResourceLimits,
+    SandboxProcess,
+)
+from repro.core.crashpad.checkpoint import CheckpointStore
+from repro.core.crashpad.replay import EventJournal
+
+
+class StubAPI(AppAPI):
+    """The app's view of the controller, implemented over RPC.
+
+    Emissions stream to the proxy as AppOutput frames; reads are served
+    from caches the proxy pushes (ContextPush), so the app never blocks
+    on a synchronous remote call.
+    """
+
+    def __init__(self, stub: "AppVisorStub"):
+        self.stub = stub
+
+    def now(self) -> float:
+        return self.stub.sim.now
+
+    def emit(self, dpid: int, msg) -> None:
+        self.stub._app_emit(dpid, msg)
+
+    def topology(self) -> TopoView:
+        return self.stub.topo_cache
+
+    def host_location(self, mac: str) -> Optional[HostEntry]:
+        return self.stub.host_cache.get(mac)
+
+    def hosts(self) -> Dict[str, HostEntry]:
+        return dict(self.stub.host_cache)
+
+    def switches(self) -> Tuple[int, ...]:
+        return self.stub.topo_cache.switches
+
+    def log(self, text: str) -> None:
+        self.stub._app_log(text)
+
+    def counter_inc(self, name: str, delta: int = 1) -> None:
+        self.stub.pending_counters[name] = (
+            self.stub.pending_counters.get(name, 0) + delta
+        )
+
+
+class AppVisorStub:
+    """Hosts one SDN-App in a sandbox behind the RPC channel."""
+
+    #: Modelled cost of replaying one journalled event during restore.
+    REPLAY_EVENT_COST = 0.0005
+
+    def __init__(self, sim, app, checkpoint_store: Optional[CheckpointStore] = None,
+                 checkpoint_interval: int = 1,
+                 heartbeat_interval: float = 0.1,
+                 limits: Optional[ResourceLimits] = None,
+                 journal_size: int = 256,
+                 replica_factory=None):
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        self.sim = sim
+        self.app = app
+        self.api = StubAPI(self)
+        self.sandbox = SandboxProcess(app, limits)
+        self.checkpoints = checkpoint_store or CheckpointStore()
+        self.checkpoint_interval = checkpoint_interval
+        self.heartbeat_interval = heartbeat_interval
+        self.journal = EventJournal(max_entries=journal_size)
+        self.endpoint = None
+        self.topo_cache = TopoView()
+        self.host_cache: Dict[str, HostEntry] = {}
+        self.pending_counters: Dict[str, int] = {}
+        self.pending_logs: List[str] = []
+        self.app_log: List[str] = []
+        self.suppress_output = False
+        self.current_seq = 0
+        self.last_seq_done = 0
+        self.heartbeats_sent = 0
+        self.events_processed = 0
+        self.restores_done = 0
+        #: Zero-arg factory building a scratch replica of the app for
+        #: STS probe runs (§5, multi-event failures).  When None the
+        #: stub cannot minimise cumulative bugs and a crashing replay
+        #: fails the restore.
+        self.replica_factory = replica_factory
+        self.sts_runs = 0
+        self._output_index = 0
+        self._stop_heartbeat = None
+        self._last_delivered: Optional[tuple] = None  # (seq, event)
+        #: Seqs delivered but not yet processed (the checkpoint-cost
+        #: window).  Checkpoints are only taken at quiescence so their
+        #: before_seq labelling stays exact under concurrency lanes.
+        self._pending_process: set = set()
+
+    # -- wiring ----------------------------------------------------------
+
+    def connect(self, endpoint) -> None:
+        """Attach to the channel, start the app, register with the proxy."""
+        self.endpoint = endpoint
+        endpoint.on_frame(self._on_frame)
+        self.app.startup(self.api)
+        endpoint.send(rpc.Register(
+            app_name=self.app.name,
+            subscriptions=tuple(self.app.subscriptions),
+            supports_deep_restore=self.replica_factory is not None,
+        ))
+        self._stop_heartbeat = self.sim.every(
+            self.heartbeat_interval, self._heartbeat
+        )
+
+    def shutdown(self) -> None:
+        if self._stop_heartbeat is not None:
+            self._stop_heartbeat()
+            self._stop_heartbeat = None
+        self.sandbox.stop()
+
+    def _heartbeat(self) -> None:
+        """Periodic liveness beacon -- stops the moment the process dies."""
+        if not self.sandbox.alive or self.endpoint is None:
+            return
+        self.heartbeats_sent += 1
+        self.endpoint.send(rpc.Heartbeat(
+            app_name=self.app.name,
+            stub_time=self.sim.now,
+            last_seq_done=self.last_seq_done,
+        ))
+
+    # -- frame handling ------------------------------------------------------
+
+    def _on_frame(self, frame) -> None:
+        if isinstance(frame, rpc.EventDeliver):
+            self._on_event(frame)
+        elif isinstance(frame, rpc.DeepRestoreCommand):
+            self._on_deep_restore(frame)
+        elif isinstance(frame, rpc.RestoreCommand):
+            self._on_restore(frame)
+        elif isinstance(frame, rpc.ContextPush):
+            self.topo_cache = frame.topo
+            self.host_cache = {h.mac: h for h in frame.hosts}
+
+    # -- event processing -------------------------------------------------------
+
+    def _on_event(self, frame: rpc.EventDeliver) -> None:
+        if not self.sandbox.alive:
+            return  # silence; the proxy's detector will notice
+        seq = frame.seq
+        checkpoint_cost = 0.0
+        if self._checkpoint_due(seq) and not self._pending_process:
+            try:
+                checkpoint = self.checkpoints.take(self.app, seq, self.sim.now)
+                self.sandbox.check_state_size(checkpoint.size)
+            except ResourceLimitExceeded as exc:
+                self.endpoint.send(rpc.CrashReport(
+                    app_name=self.app.name, seq=seq, error=str(exc),
+                ))
+                return
+            checkpoint_cost = self.checkpoints.cost_of(checkpoint)
+            # Keep journal entries back to the OLDEST retained
+            # checkpoint: deep (STS-guided) recovery may roll that far.
+            oldest = self.checkpoints.oldest()
+            self.journal.truncate_before(oldest.before_seq)
+        self.journal.record(seq, frame.event)
+        self._pending_process.add(seq)
+        # The checkpoint freeze delays processing -- this is the §4.1
+        # per-event overhead E7 measures.
+        self.sim.schedule(checkpoint_cost, self._process, seq, frame.event)
+
+    def _checkpoint_due(self, seq: int) -> bool:
+        latest = self.checkpoints.latest()
+        if latest is None:
+            return True
+        return seq - latest.before_seq >= self.checkpoint_interval
+
+    def _process(self, seq: int, event) -> None:
+        self._pending_process.discard(seq)
+        if not self.sandbox.alive:
+            return
+        self.current_seq = seq
+        self._output_index = 0
+        self.pending_logs = []
+        self.pending_counters = {}
+        self._last_delivered = (seq, event)
+        outcome = self.sandbox.deliver(event)
+        if outcome.ok:
+            self.last_seq_done = seq
+            self.events_processed += 1
+            self.endpoint.send(rpc.EventComplete(
+                app_name=self.app.name,
+                seq=seq,
+                output_count=self._output_index,
+                counter_deltas=tuple(sorted(self.pending_counters.items())),
+                log_lines=tuple(self.pending_logs),
+            ))
+        elif outcome.status == "crashed":
+            self.endpoint.send(rpc.CrashReport(
+                app_name=self.app.name,
+                seq=seq,
+                error=outcome.error,
+                traceback_text=outcome.traceback_text,
+                log_lines=tuple(self.pending_logs),
+            ))
+        # hung: say nothing -- heartbeats have stopped too.
+
+    # -- app-facing hooks ----------------------------------------------------------
+
+    def _app_emit(self, dpid: int, msg) -> None:
+        if self.suppress_output or self.endpoint is None:
+            return
+        self.endpoint.send(rpc.AppOutput(
+            app_name=self.app.name,
+            seq=self.current_seq,
+            index=self._output_index,
+            dpid=dpid,
+            message=msg,
+        ))
+        self._output_index += 1
+
+    def _app_log(self, text: str) -> None:
+        self.app_log.append(text)
+        self.pending_logs.append(text)
+
+    # -- restore -----------------------------------------------------------------
+
+    def _on_restore(self, frame: rpc.RestoreCommand) -> None:
+        offending = frame.offending_seq
+        checkpoint = self.checkpoints.latest_before(offending)
+        if checkpoint is None:
+            self.endpoint.send(rpc.RestoreAck(
+                app_name=self.app.name, restored_before_seq=0,
+                replayed_events=0, restore_cost=0.0,
+                ok=False, error="no usable checkpoint",
+            ))
+            return
+        # The offending event is never replayed (it would crash again),
+        # and invalidated in-flight events will be re-delivered fresh.
+        self.journal.remove(offending)
+        for seq in frame.drop_seqs:
+            self.journal.remove(seq)
+        self._pending_process.clear()
+        replayed, failed_entry = self._restore_and_replay(checkpoint, offending)
+        cost = (self.checkpoints.cost_of(checkpoint)
+                + replayed * self.REPLAY_EVENT_COST)
+        culprits: tuple = ()
+        error = ""
+        ok = True
+        if failed_entry is not None:
+            # A journalled event crashed during replay: the failure is
+            # cumulative (§5).  Run the STS-style search to find and
+            # prune the causal events, then retry once.
+            culprits, probes = self._minimise_cumulative_bug(
+                checkpoint, failed_entry)
+            cost += probes * self.REPLAY_EVENT_COST
+            if culprits:
+                self.sts_runs += 1
+                for seq in culprits:
+                    self.journal.remove(seq)
+                replayed, failed_entry = self._restore_and_replay(
+                    checkpoint, offending)
+                cost += replayed * self.REPLAY_EVENT_COST
+            if failed_entry is not None:
+                ok = False
+                error = ("replay crashed"
+                         + ("" if self.replica_factory else
+                            " (no replica factory for STS minimisation)"))
+        self.pending_counters = {}
+        self.pending_logs = []
+        self.restores_done += 1
+        ack = rpc.RestoreAck(
+            app_name=self.app.name,
+            restored_before_seq=checkpoint.before_seq,
+            replayed_events=replayed, restore_cost=cost,
+            ok=ok, error=error, sts_culprits=tuple(culprits),
+        )
+        # The restore (CRIU load + replay) takes time; delay the ack.
+        self.sim.schedule(cost, self.endpoint.send, ack)
+
+    def _restore_and_replay(self, checkpoint, offending_seq: int):
+        """Load the checkpoint and replay every journalled event.
+
+        The offending event and any invalidated in-flight events were
+        already removed from the journal, so the replay set is exactly
+        the events that *completed* -- including ones with seqs after
+        the offending event (concurrency lanes can complete younger
+        events before an older lane's crash surfaces; their effects
+        were committed and must be reconstructed).
+
+        Returns ``(replayed_count, failed_entry_or_None)``.
+        """
+        self.checkpoints.restore(self.app, checkpoint)
+        self.sandbox.revive()
+        replay_entries = self.journal.events_between(
+            checkpoint.before_seq, float("inf")
+        )
+        self.suppress_output = True
+        replayed = 0
+        failed_entry = None
+        for entry in replay_entries:
+            outcome = self.sandbox.deliver(entry.event)
+            if not outcome.ok:
+                failed_entry = entry
+                break
+            replayed += 1
+        self.suppress_output = False
+        return replayed, failed_entry
+
+    def _minimise_cumulative_bug(self, checkpoint, failed_entry):
+        """Find the minimal causal event set behind a replay crash.
+
+        Returns ``(culprit_seqs, probe_runs)``; empty culprits when no
+        replica factory is configured.
+        """
+        if self.replica_factory is None:
+            return (), 0
+        from repro.core.crashpad.sts import find_minimal_causal_sequence
+
+        history = [
+            (entry.seq, entry.event)
+            for entry in self.journal.events_between(
+                checkpoint.before_seq, failed_entry.seq)
+        ]
+        result = find_minimal_causal_sequence(
+            self._build_replica,
+            checkpoint.blob,
+            history=history,
+            offending=(failed_entry.seq, failed_entry.event),
+        )
+        return result.culprit_seqs, result.probe_runs
+
+    def _build_replica(self):
+        """A scratch app instance for STS probe runs (no API attached,
+        so probe replays cannot emit anything)."""
+        return self.replica_factory()
+
+    # -- deep restore: the §5 cumulative-bug path -------------------------
+
+    def _on_deep_restore(self, frame: rpc.DeepRestoreCommand) -> None:
+        """STS-guided rollback through the checkpoint history.
+
+        Plain restores keep failing because every recent checkpoint
+        carries poisoned state.  Find the events that poisoned it,
+        prune them from the journal, and roll back to the newest
+        checkpoint that replays clean without them.
+        """
+        offending = frame.offending_seq
+        self.journal.remove(offending)
+        for seq in frame.drop_seqs:
+            self.journal.remove(seq)
+        self._pending_process.clear()
+        if self.replica_factory is None or not self.checkpoints.count:
+            self._send_deep_ack(offending, ok=False, cost=0.0,
+                                error="deep restore unavailable "
+                                      "(no replica factory)")
+            return
+        from repro.core.crashpad.sts import (
+            find_minimal_causal_sequence,
+            pick_rollback_checkpoint,
+        )
+
+        history = self.checkpoints.history()
+        oldest = history[0]
+        journal_events = [
+            (entry.seq, entry.event)
+            for entry in self.journal.events_between(
+                oldest.before_seq, offending)
+        ]
+        # The last crash happened on the event the proxy told us about;
+        # the stub saw it too (it is the last delivered one).  Use the
+        # oldest checkpoint as the search base so the causal set can
+        # reach back across checkpoints.
+        offending_entry = (
+            self._last_delivered[1]
+            if self._last_delivered and self._last_delivered[0] == offending
+            else None
+        )
+        if offending_entry is None:
+            self._send_deep_ack(offending, ok=False, cost=0.0,
+                                error="no offending event recorded")
+            return
+        result = find_minimal_causal_sequence(
+            self._build_replica, oldest.blob,
+            history=journal_events,
+            offending=(offending, offending_entry),
+        )
+        if result.single_event:
+            # Not cumulative after all: the offending event alone
+            # reproduces the crash, so the ordinary restore-and-skip
+            # recovery is both sufficient and cheaper.
+            checkpoint = self.checkpoints.latest_before(offending)
+            replayed, failed_entry = self._restore_and_replay(
+                checkpoint, offending)
+            cost = (self.checkpoints.cost_of(checkpoint)
+                    + (replayed + result.probe_runs)
+                    * self.REPLAY_EVENT_COST)
+            self.restores_done += 1
+            self._send_deep_ack(
+                offending, ok=failed_entry is None, cost=cost,
+                error="" if failed_entry is None else "replay crashed",
+                restored_before_seq=checkpoint.before_seq,
+                replayed=replayed,
+            )
+            return
+        culprits = [seq for seq in result.culprit_seqs if seq != offending]
+        for seq in culprits:
+            self.journal.remove(seq)
+        safe_before_seq = pick_rollback_checkpoint(
+            self._build_replica,
+            [(c.before_seq, c.blob) for c in history],
+            journal_events,
+            offending=(offending, offending_entry),
+            culprit_seqs=culprits,
+        )
+        if safe_before_seq is None:
+            self._send_deep_ack(offending, ok=False, cost=0.0,
+                                error="no clean checkpoint in history",
+                                culprits=culprits)
+            return
+        checkpoint = next(c for c in history
+                          if c.before_seq == safe_before_seq)
+        replayed, failed_entry = self._restore_and_replay(
+            checkpoint, offending)
+        cost = (self.checkpoints.cost_of(checkpoint)
+                + (replayed + result.probe_runs) * self.REPLAY_EVENT_COST)
+        self.sts_runs += 1
+        self.restores_done += 1
+        self.pending_counters = {}
+        self.pending_logs = []
+        self._send_deep_ack(
+            offending,
+            ok=failed_entry is None,
+            cost=cost,
+            error="" if failed_entry is None else "replay crashed after STS",
+            culprits=culprits,
+            restored_before_seq=checkpoint.before_seq,
+            replayed=replayed,
+        )
+
+    def _send_deep_ack(self, offending: int, ok: bool, cost: float,
+                       error: str = "", culprits=(),
+                       restored_before_seq: int = 0,
+                       replayed: int = 0) -> None:
+        ack = rpc.RestoreAck(
+            app_name=self.app.name,
+            restored_before_seq=restored_before_seq,
+            replayed_events=replayed,
+            restore_cost=cost,
+            ok=ok,
+            error=error,
+            sts_culprits=tuple(culprits),
+        )
+        self.sim.schedule(cost, self.endpoint.send, ack)

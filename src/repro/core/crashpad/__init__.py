@@ -1,0 +1,45 @@
+"""Crash-Pad: failure detection and recovery (§3.3).
+
+Crash-Pad "takes a snapshot of the state of the SDN-App prior to its
+processing of an event and should a failure occur, it can easily
+revert to this snapshot.  Replay of the offending event, however, will
+most likely cause the SDN-App to fail.  Therefore, Crash-Pad either
+ignores or transforms the event ... prior to the replay."
+
+Pieces:
+
+- :mod:`checkpoint` -- CRIU-substitute snapshot/restore with a cost model;
+- :mod:`replay` -- the §5 extension: checkpoint every k events + replay;
+- :mod:`detector` -- fail-stop detection (crash reports, heartbeat loss,
+  event timeouts);
+- :mod:`policies` / :mod:`policy_lang` -- the three compromise policies
+  and the per-app, per-event policy language;
+- :mod:`transformer` -- equivalence transformations
+  (switch-down <-> link-downs);
+- :mod:`ticket` -- problem tickets for developers;
+- :mod:`recovery` -- the CrashPad decision engine tying it together.
+"""
+
+from repro.core.crashpad.checkpoint import Checkpoint, CheckpointStore
+from repro.core.crashpad.detector import FailureDetector
+from repro.core.crashpad.policies import CompromisePolicy, RecoveryDecision
+from repro.core.crashpad.policy_lang import PolicyRule, PolicyTable
+from repro.core.crashpad.recovery import CrashPad
+from repro.core.crashpad.replay import EventJournal
+from repro.core.crashpad.ticket import ProblemTicket, TicketStore
+from repro.core.crashpad.transformer import EventTransformer
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "CompromisePolicy",
+    "CrashPad",
+    "EventJournal",
+    "EventTransformer",
+    "FailureDetector",
+    "PolicyRule",
+    "PolicyTable",
+    "ProblemTicket",
+    "RecoveryDecision",
+    "TicketStore",
+]

@@ -1,0 +1,117 @@
+"""Checkpoint/restore of SDN-App state (CRIU substitute).
+
+The paper's prototype uses CRIU to checkpoint the whole app process
+(JVM) before dispatching every message (§4.1).  Our substitute pickles
+the app's state dict -- same semantics (a full, restorable image of
+the app's mutable state at a point in time) -- and charges a modelled
+cost in simulated time, proportional to image size, so the E7
+checkpoint-frequency experiment measures a real trade-off.
+
+A checkpoint taken *before* event ``seq`` is keyed by ``before_seq``:
+it captures the state produced by events ``1 .. seq-1``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class CheckpointError(RuntimeError):
+    """State could not be snapshotted or restored."""
+
+
+@dataclass
+class Checkpoint:
+    """One snapshot of an app's state."""
+
+    before_seq: int
+    taken_at: float
+    blob: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.blob)
+
+
+class CheckpointStore:
+    """Holds recent checkpoints for one app, with a cost model.
+
+    ``base_cost`` models CRIU's fixed freeze/dump overhead and
+    ``per_byte_cost`` the image-size-proportional part; both are in
+    simulated seconds.  ``keep`` bounds retention (rollbacks only ever
+    reach back a bounded number of events -- §5 discusses reading "a
+    history of snapshots").
+    """
+
+    def __init__(self, keep: int = 16, base_cost: float = 0.010,
+                 per_byte_cost: float = 1e-7):
+        self.keep = keep
+        self.base_cost = base_cost
+        self.per_byte_cost = per_byte_cost
+        self._checkpoints: List[Checkpoint] = []
+        self.taken_count = 0
+        self.restored_count = 0
+        self.total_bytes = 0
+        self.total_cost = 0.0
+
+    # -- snapshot --------------------------------------------------------
+
+    def take(self, app, before_seq: int, now: float) -> Checkpoint:
+        """Snapshot ``app`` prior to event ``before_seq``.
+
+        Returns the checkpoint; its modelled cost is available via
+        :meth:`cost_of` and accumulated in :attr:`total_cost`.
+        """
+        try:
+            blob = pickle.dumps(app.get_state(), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CheckpointError(f"cannot snapshot {app.name}: {exc}") from exc
+        checkpoint = Checkpoint(before_seq=before_seq, taken_at=now, blob=blob)
+        self._checkpoints.append(checkpoint)
+        if len(self._checkpoints) > self.keep:
+            del self._checkpoints[: len(self._checkpoints) - self.keep]
+        self.taken_count += 1
+        self.total_bytes += checkpoint.size
+        self.total_cost += self.cost_of(checkpoint)
+        return checkpoint
+
+    def cost_of(self, checkpoint: Checkpoint) -> float:
+        """Simulated seconds this checkpoint costs."""
+        return self.base_cost + checkpoint.size * self.per_byte_cost
+
+    # -- restore -----------------------------------------------------------
+
+    def latest_before(self, seq: int) -> Optional[Checkpoint]:
+        """Newest checkpoint with ``before_seq`` <= ``seq``."""
+        candidates = [c for c in self._checkpoints if c.before_seq <= seq]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda c: c.before_seq)
+
+    def restore(self, app, checkpoint: Checkpoint) -> None:
+        """Load ``checkpoint`` into ``app`` (the CRIU restore)."""
+        try:
+            state = pickle.loads(checkpoint.blob)
+        except Exception as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint for {app.name}: {exc}"
+            ) from exc
+        app.set_state(state)
+        self.restored_count += 1
+
+    @property
+    def count(self) -> int:
+        return len(self._checkpoints)
+
+    def latest(self) -> Optional[Checkpoint]:
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def oldest(self) -> Optional[Checkpoint]:
+        return self._checkpoints[0] if self._checkpoints else None
+
+    def history(self) -> List[Checkpoint]:
+        """All retained checkpoints, oldest first (§5: "a history of
+        snapshots" for multi-event failure recovery)."""
+        return list(self._checkpoints)

@@ -1,0 +1,121 @@
+"""Fail-stop failure detection (§4.1).
+
+"The proxy uses communication failures with the stub to detect that
+the SDN-App has crashed.  To further help the proxy in detecting
+crashes quickly, the stub also sends periodic heart beat messages."
+
+Three signals feed the detector:
+
+- **crash reports** -- the stub explicitly reports an exception (fast
+  path; handled directly by the proxy, not here);
+- **event timeouts** -- a dispatched event got no response within
+  ``event_timeout`` (communication failure);
+- **heartbeat loss** -- no heartbeat within ``heartbeat_timeout``
+  (catches hangs, where the process is wedged but never reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class AppHealth:
+    """Liveness bookkeeping for one app.
+
+    ``inflight`` maps outstanding event seqs to dispatch times --
+    several events may be in flight at once when the proxy runs the §5
+    concurrency lanes.
+    """
+
+    last_heartbeat: float = 0.0
+    inflight: Dict[int, float] = field(default_factory=dict)
+    responses: int = 0
+    heartbeats: int = 0
+
+
+@dataclass(frozen=True)
+class Suspicion:
+    """One failure suspicion raised by the detector."""
+
+    app_name: str
+    reason: str  # "event-timeout" | "heartbeat-loss"
+    inflight_seq: Optional[int]
+    silent_for: float
+
+
+class FailureDetector:
+    """Timeout-based failure detector for AppVisor stubs."""
+
+    def __init__(self, heartbeat_timeout: float = 0.35,
+                 event_timeout: float = 0.5):
+        self.heartbeat_timeout = heartbeat_timeout
+        self.event_timeout = event_timeout
+        self._health: Dict[str, AppHealth] = {}
+        self.suspicions_raised = 0
+
+    def register(self, app_name: str, now: float) -> None:
+        self._health[app_name] = AppHealth(last_heartbeat=now)
+
+    def forget(self, app_name: str) -> None:
+        self._health.pop(app_name, None)
+
+    # -- signal intake ----------------------------------------------------
+
+    def record_dispatch(self, app_name: str, seq: int, now: float) -> None:
+        health = self._health.setdefault(app_name, AppHealth(last_heartbeat=now))
+        health.inflight[seq] = now
+
+    def record_response(self, app_name: str, now: float,
+                        seq: Optional[int] = None) -> None:
+        health = self._health.get(app_name)
+        if health is None:
+            return
+        if seq is None:
+            health.inflight.clear()
+        else:
+            health.inflight.pop(seq, None)
+        health.responses += 1
+        # A response proves the process is alive; treat it as a heartbeat.
+        health.last_heartbeat = now
+
+    def record_heartbeat(self, app_name: str, now: float) -> None:
+        health = self._health.get(app_name)
+        if health is None:
+            return
+        health.heartbeats += 1
+        health.last_heartbeat = max(health.last_heartbeat, now)
+
+    def clear(self, app_name: str, now: float) -> None:
+        """Reset after recovery: the app is freshly alive."""
+        self._health[app_name] = AppHealth(last_heartbeat=now)
+
+    # -- detection -----------------------------------------------------------
+
+    def suspects(self, now: float) -> List[Suspicion]:
+        """Apps that look dead right now."""
+        suspicions = []
+        for name, health in self._health.items():
+            overdue = [(seq, t) for seq, t in health.inflight.items()
+                       if now - t > self.event_timeout]
+            if overdue:
+                seq, dispatched_at = min(overdue, key=lambda item: item[1])
+                suspicions.append(Suspicion(
+                    app_name=name, reason="event-timeout",
+                    inflight_seq=seq,
+                    silent_for=now - dispatched_at,
+                ))
+                continue
+            if now - health.last_heartbeat > self.heartbeat_timeout:
+                oldest = (min(health.inflight) if health.inflight else None)
+                suspicions.append(Suspicion(
+                    app_name=name, reason="heartbeat-loss",
+                    inflight_seq=oldest,
+                    silent_for=now - health.last_heartbeat,
+                ))
+        self.suspicions_raised += len(suspicions)
+        return suspicions
+
+    def health_of(self, app_name: str) -> Optional[AppHealth]:
+        return self._health.get(app_name)

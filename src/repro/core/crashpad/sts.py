@@ -1,0 +1,197 @@
+"""Minimal causal sequences for multi-event failures (§5).
+
+"Currently, LegoSDN can easily overcome failure induced by the most
+recently processed event.  If the failure is induced as a cumulation
+of events, we plan on extending LegoSDN to read a history of snapshots
+(or checkpoints of the SDN-App) and use techniques like STS [28] to
+detect the exact set of events that induced the crash.  STS allows us
+to determine which checkpoint to roll back the application to."
+
+This module implements that extension: given a base checkpoint, the
+journalled events delivered since it, and a final event that crashed
+the app, :func:`find_minimal_causal_sequence` delta-debugs (ddmin) the
+event history against a *scratch replica* of the app.  The replica is
+reconstructed from the checkpoint blob for every probe run, so the
+search never touches the live app or the network (probe runs suppress
+output by constructing the replica without an API).
+
+The result tells Crash-Pad two things:
+
+- the **minimal event subset** that reproduces the crash (for the
+  problem ticket -- this is STS's contribution to triage); and
+- the **safe rollback point**: the latest checkpoint whose replay
+  (with the culprit events excluded) no longer crashes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.controller.api import AppAPI, TopoView
+
+
+class _NullAPI(AppAPI):
+    """Swallows everything a probe replica tries to do.
+
+    Probe replays must not emit, log, or read live controller state --
+    they are thought experiments over checkpointed app state.
+    """
+
+    def now(self):
+        return 0.0
+
+    def emit(self, dpid, msg):
+        pass
+
+    def topology(self):
+        return TopoView()
+
+    def host_location(self, mac):
+        return None
+
+    def hosts(self):
+        return {}
+
+    def switches(self):
+        return ()
+
+    def log(self, text):
+        pass
+
+    def counter_inc(self, name, delta=1):
+        pass
+
+
+@dataclass
+class CausalSequenceResult:
+    """Outcome of a minimal-causal-sequence search."""
+
+    #: (seq, event) pairs forming the minimal crash-inducing history,
+    #: in delivery order.  Always ends with the final (offending) event.
+    minimal_events: List[Tuple[int, object]]
+    #: Number of replica replays the search spent.
+    probe_runs: int
+    #: True when the final event alone reproduces the crash (the common
+    #: deterministic case Crash-Pad already handles).
+    single_event: bool = False
+
+    @property
+    def culprit_seqs(self) -> List[int]:
+        return [seq for seq, _ in self.minimal_events]
+
+
+class _Replica:
+    """A scratch copy of the app, rebuilt from a checkpoint blob."""
+
+    def __init__(self, app_factory: Callable, state_blob: bytes):
+        self.app_factory = app_factory
+        self.state_blob = state_blob
+
+    def crashes_on(self, events: Sequence[object]) -> bool:
+        """Replay ``events`` on a fresh replica; True if any crashes it."""
+        app = self.app_factory()
+        app.startup(_NullAPI())
+        app.set_state(pickle.loads(self.state_blob))
+        for event in events:
+            try:
+                app.handle(event)
+            except Exception:  # noqa: BLE001 - the probe IS the experiment
+                return True
+        return False
+
+
+def find_minimal_causal_sequence(
+    app_factory: Callable,
+    checkpoint_blob: bytes,
+    history: Sequence[Tuple[int, object]],
+    offending: Tuple[int, object],
+    max_probes: int = 256,
+) -> CausalSequenceResult:
+    """Delta-debug the event history down to a minimal crashing subset.
+
+    ``history`` is the (seq, event) list delivered after the checkpoint
+    was taken, in order, *excluding* the offending event, which is
+    passed separately (it is always retained -- the crash happened
+    while handling it).
+
+    ``app_factory`` must build an app object whose ``set_state`` can
+    load the checkpoint (for wrapped apps, pass the same wrapping used
+    at launch).  The classic ddmin loop then minimises the prefix.
+    """
+    replica = _Replica(app_factory, checkpoint_blob)
+    probes = 0
+
+    def crashes(prefix: Sequence[Tuple[int, object]]) -> bool:
+        nonlocal probes
+        probes += 1
+        return replica.crashes_on([e for _, e in list(prefix) + [offending]])
+
+    # Fast path: the offending event alone reproduces the crash.
+    if crashes([]):
+        return CausalSequenceResult(
+            minimal_events=[offending], probe_runs=probes, single_event=True)
+
+    # Sanity: the full history must reproduce it, else the bug is
+    # non-deterministic (or environment-dependent) and minimisation is
+    # meaningless -- report the whole history.
+    remaining = list(history)
+    if not crashes(remaining):
+        return CausalSequenceResult(
+            minimal_events=remaining + [offending], probe_runs=probes)
+
+    # ddmin over the prefix events.
+    granularity = 2
+    while len(remaining) >= 2 and probes < max_probes:
+        chunk_size = max(1, len(remaining) // granularity)
+        chunks = [remaining[i:i + chunk_size]
+                  for i in range(0, len(remaining), chunk_size)]
+        reduced = False
+        # Try each complement (history minus one chunk).
+        for i in range(len(chunks)):
+            complement = [e for j, chunk in enumerate(chunks)
+                          for e in chunk if j != i]
+            if crashes(complement):
+                remaining = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk_size == 1:
+                break  # 1-minimal
+            granularity = min(granularity * 2, len(remaining))
+    return CausalSequenceResult(
+        minimal_events=remaining + [offending], probe_runs=probes)
+
+
+def pick_rollback_checkpoint(
+    app_factory: Callable,
+    checkpoints: Sequence[Tuple[int, bytes]],
+    journal_events: Sequence[Tuple[int, object]],
+    offending: Tuple[int, object],
+    culprit_seqs: Sequence[int],
+) -> Optional[int]:
+    """Which checkpoint can the app safely roll back to?
+
+    ``checkpoints`` are (before_seq, blob) pairs, oldest first;
+    ``offending`` is the (seq, event) the app last crashed on.  A
+    checkpoint is *safe* when replaying the journalled events after it
+    -- minus the culprits -- and then the offending event as a canary
+    does not crash the replica.  The canary matters: a checkpoint whose
+    *state* is already poisoned replays clean (the poison is latent)
+    but still dies on the next triggering event, so replay-cleanliness
+    alone would keep picking it.  Returns the ``before_seq`` of the
+    newest safe checkpoint, or None when even the oldest is poisoned
+    (operator escalation).
+    """
+    offending_seq, offending_event = offending
+    excluded = set(culprit_seqs) | {offending_seq}
+    for before_seq, blob in sorted(checkpoints, key=lambda c: -c[0]):
+        replay = [event for seq, event in journal_events
+                  if before_seq <= seq < offending_seq
+                  and seq not in excluded]
+        if not _Replica(app_factory, blob).crashes_on(
+                replay + [offending_event]):
+            return before_seq
+    return None

@@ -1,0 +1,88 @@
+"""Equivalence transformations of failure-inducing events (§3.3).
+
+"Equivalence Compromise transforms the event into an equivalent one,
+e.g. a switch down event can be transformed into a series of link down
+events.  Alternatively, a link down event may be transformed into a
+switch down event.  This transformation exploits the domain knowledge
+that certain events are super-sets of other events and vice versa."
+
+Both directions are provided:
+
+- ``SwitchLeave(d)`` -> the list of ``LinkRemoved`` events for every
+  discovered link of ``d`` (decompose the super-set event);
+- ``LinkRemoved(a,..,b,..)`` -> ``SwitchLeave`` of one endpoint
+  (escalate to the super-set event);
+- ``PortStatus(down)`` -> the ``LinkRemoved`` for the affected link.
+
+Transforms need the topology as it was *before* the event (the dead
+switch's links are already gone from the live view), so the caller
+passes the last topology snapshot it pushed to the app.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.controller.api import TopoView
+from repro.controller.events import LinkRemoved, SwitchLeave
+from repro.openflow.messages import PortStatus
+
+
+class EventTransformer:
+    """Domain-knowledge event rewriting."""
+
+    def __init__(self, escalate_link_to_switch: bool = False):
+        #: When True, LinkRemoved escalates to SwitchLeave (the paper's
+        #: "alternatively" direction); when False it is left
+        #: untransformable and recovery falls back to ignoring it.
+        self.escalate_link_to_switch = escalate_link_to_switch
+        self.transform_count = 0
+
+    def transform(self, event, topo: TopoView) -> Optional[List[object]]:
+        """Return replacement events, or None if no equivalence exists.
+
+        An empty list is a valid transformation result ("the switch had
+        no links"); None means the caller should fall back to another
+        policy (Crash-Pad falls back to Absolute Compromise).
+        """
+        result = self._dispatch(event, topo)
+        if result is not None:
+            self.transform_count += 1
+        return result
+
+    def _dispatch(self, event, topo: TopoView) -> Optional[List[object]]:
+        if isinstance(event, SwitchLeave):
+            return self._switch_leave_to_link_removals(event, topo)
+        if isinstance(event, LinkRemoved):
+            if self.escalate_link_to_switch:
+                return [SwitchLeave(dpid=event.dpid_a)]
+            return None
+        if isinstance(event, PortStatus) and not event.link_up:
+            return self._port_down_to_link_removed(event, topo)
+        return None
+
+    @staticmethod
+    def _switch_leave_to_link_removals(event: SwitchLeave,
+                                       topo: TopoView) -> List[object]:
+        """Decompose a switch-down into per-link link-downs.
+
+        Uses the pre-failure topology: each link incident to the dead
+        switch becomes one LinkRemoved.  The result is *weaker* than
+        the original event (the app never learns the switch itself is
+        gone) but preserves the routing-relevant information, which is
+        exactly the correctness/availability trade the policy makes.
+        """
+        removals = []
+        for dpid_a, port_a, dpid_b, port_b in topo.links:
+            if event.dpid in (dpid_a, dpid_b):
+                removals.append(LinkRemoved(dpid_a, port_a, dpid_b, port_b))
+        return removals
+
+    @staticmethod
+    def _port_down_to_link_removed(event: PortStatus,
+                                   topo: TopoView) -> Optional[List[object]]:
+        for dpid_a, port_a, dpid_b, port_b in topo.links:
+            if ((dpid_a, port_a) == (event.dpid, event.port)
+                    or (dpid_b, port_b) == (event.dpid, event.port)):
+                return [LinkRemoved(dpid_a, port_a, dpid_b, port_b)]
+        return None

@@ -1,0 +1,198 @@
+"""Network-wide transactions with all-or-nothing semantics.
+
+The :class:`TransactionManager` is the controller-side heart of
+NetLog.  It keeps a *shadow* flow table per switch (the controller's
+authoritative view of what it has installed), and for every
+state-altering message an app emits it:
+
+1. applies the message to the shadow table, capturing the displaced
+   pre-state;
+2. computes the inverse via the inversion algebra
+   (:mod:`repro.openflow.inversion`);
+3. appends a :class:`~repro.core.netlog.log.NetLogRecord` to the WAL;
+4. forwards the message to the real switch.
+
+Aborting a transaction replays the inverses in reverse order (to both
+the shadow and the real switches) and parks the lost counters in the
+counter-cache.  The shadow tables double as the input to the byzantine
+invariant check: Crash-Pad can vet what an app *did* without touching
+the network.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.netlog.counter_cache import CounterCache
+from repro.core.netlog.log import NetLogRecord, WriteAheadLog
+from repro.openflow.flowtable import FlowTable
+from repro.openflow.inversion import invert
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand, Message
+
+
+class TxnState(enum.Enum):
+    OPEN = "open"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """The operations one app emitted while handling one event."""
+
+    txn_id: int
+    app_name: str
+    event_desc: str
+    opened_at: float
+    state: TxnState = TxnState.OPEN
+    records: List[NetLogRecord] = field(default_factory=list)
+    passthrough_count: int = 0  # non-state-altering messages (PacketOut)
+
+    @property
+    def size(self) -> int:
+        return len(self.records)
+
+
+class TransactionManager:
+    """Controller-side NetLog."""
+
+    def __init__(self, controller):
+        self.controller = controller
+        self.sim = controller.sim
+        self.shadow: Dict[int, FlowTable] = {}
+        self.wal = WriteAheadLog()
+        self.counter_cache = CounterCache()
+        self._txn_ids = itertools.count(1)
+        self.open_txns: Dict[int, Transaction] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    # -- shadow maintenance ------------------------------------------------
+
+    def shadow_table(self, dpid: int) -> FlowTable:
+        table = self.shadow.get(dpid)
+        if table is None:
+            table = self.shadow[dpid] = FlowTable()
+        # Lazy expiry keeps the shadow in step with real switch sweeps.
+        table.expire(self.sim.now, dpid=dpid)
+        return table
+
+    def note_flow_removed(self, dpid: int, match: Match, priority: int) -> None:
+        """A FlowRemoved arrived: the entry is gone for real.
+
+        Mirror the removal in the shadow and drop any cached counters
+        -- the entry's history ended legitimately.
+        """
+        table = self.shadow.get(dpid)
+        if table is not None:
+            table.entries = [
+                e for e in table.entries if not e.same_rule(match, priority)
+            ]
+        self.counter_cache.forget(dpid, match, priority)
+
+    def note_switch_reset(self, dpid: int) -> None:
+        """A switch died or rebooted: its tables are empty now."""
+        self.shadow[dpid] = FlowTable()
+
+    # -- transaction lifecycle ------------------------------------------------
+
+    def begin(self, app_name: str, event_desc: str = "") -> Transaction:
+        txn = Transaction(
+            txn_id=next(self._txn_ids),
+            app_name=app_name,
+            event_desc=event_desc,
+            opened_at=self.sim.now,
+        )
+        self.open_txns[txn.txn_id] = txn
+        return txn
+
+    def apply(self, txn: Transaction, dpid: int, msg: Message) -> None:
+        """Apply one app-emitted message under ``txn``."""
+        if txn.state is not TxnState.OPEN:
+            raise ValueError(f"transaction {txn.txn_id} is {txn.state.value}")
+        if not msg.alters_network_state():
+            txn.passthrough_count += 1
+            self.controller.send_to_switch(dpid, msg)
+            return
+        now = self.sim.now
+        table = self.shadow_table(dpid)
+        pre_state = table.apply_flow_mod(msg, now)
+        inversion = invert(msg, pre_state, dpid, now)
+        record = NetLogRecord(
+            txn_id=txn.txn_id,
+            dpid=dpid,
+            message=msg,
+            inverse_messages=inversion.messages,
+            counter_records=inversion.counter_records,
+            applied_at=now,
+        )
+        self.wal.append(record)
+        txn.records.append(record)
+        self.controller.send_to_switch(dpid, msg)
+
+    def commit(self, txn: Transaction) -> None:
+        """Make the transaction's effects permanent."""
+        if txn.state is not TxnState.OPEN:
+            return
+        txn.state = TxnState.COMMITTED
+        self.open_txns.pop(txn.txn_id, None)
+        self.committed += 1
+        # Deletes were intentional: drop any counter history we held
+        # for the entries this transaction removed.
+        for record in txn.records:
+            if isinstance(record.message, FlowMod) and record.message.command in (
+                FlowModCommand.DELETE, FlowModCommand.DELETE_STRICT,
+            ):
+                for cr in record.counter_records:
+                    self.counter_cache.forget(cr.dpid, cr.match, cr.priority)
+
+    def abort(self, txn: Transaction) -> int:
+        """Undo everything: inverses in reverse order, counters cached.
+
+        Returns the number of inverse messages sent.  Safe to call on
+        an already-aborted transaction (idempotent, returns 0).
+        """
+        if txn.state is not TxnState.OPEN:
+            return 0
+        txn.state = TxnState.ABORTED
+        self.open_txns.pop(txn.txn_id, None)
+        self.aborted += 1
+        sent = 0
+        now = self.sim.now
+        for record in reversed(txn.records):
+            for inverse in record.inverse_messages:
+                self.shadow_table(record.dpid).apply_flow_mod(inverse, now)
+                self.controller.send_to_switch(record.dpid, inverse)
+                sent += 1
+            for cr in record.counter_records:
+                self.counter_cache.store(cr)
+        return sent
+
+    # -- byzantine-check support ----------------------------------------------
+
+    def preview_tables(self, ops) -> Dict[int, FlowTable]:
+        """Shadow copies with ``ops`` (an iterable of (dpid, msg))
+        applied -- what the network WOULD look like.  Used by the
+        buffer-mode byzantine check to vet output before it touches
+        any switch."""
+        preview: Dict[int, FlowTable] = {
+            dpid: FlowTable(entries=table.snapshot())
+            for dpid, table in self.shadow.items()
+        }
+        now = self.sim.now
+        for dpid, msg in ops:
+            if not msg.alters_network_state():
+                continue
+            table = preview.get(dpid)
+            if table is None:
+                table = preview[dpid] = FlowTable()
+            table.apply_flow_mod(msg, now)
+        return preview
+
+    def current_tables(self) -> Dict[int, FlowTable]:
+        """The shadow view (for post-apply byzantine checks)."""
+        return dict(self.shadow)

@@ -1,0 +1,151 @@
+"""The LegoSDN runtime: AppVisor + NetLog + Crash-Pad, composed.
+
+This is the drop-in replacement for
+:class:`~repro.controller.monolithic.MonolithicRuntime`: same
+``launch_app`` surface, opposite failure behaviour.  Each launched app
+gets its own sandboxed stub, UDP channel, checkpoint store, and
+heartbeat stream; the proxy wires them into the controller and routes
+failures through Crash-Pad.
+
+"LegoSDN does not require any modifications to the SDN controller or
+the SDN-Apps" -- apps written for the monolithic runtime run here
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.base import SDNApp
+from repro.core.appvisor.channel import UdpChannel
+from repro.core.appvisor.isolation import ResourceLimits
+from repro.core.appvisor.proxy import AppVisorProxy
+from repro.core.appvisor.stub import AppVisorStub
+from repro.core.crashpad.checkpoint import CheckpointStore
+from repro.core.crashpad.policy_lang import PolicyTable
+from repro.core.crashpad.recovery import CrashPad
+from repro.core.crashpad.ticket import TicketStore
+
+
+class LegoSDNRuntime:
+    """Hosts SDN-Apps in isolated, recoverable sandboxes."""
+
+    def __init__(self, controller, mode: str = "netlog",
+                 policy_table: Optional[PolicyTable] = None,
+                 byzantine_check: bool = False,
+                 shutdown_on_critical: bool = False,
+                 checkpoint_interval: int = 1,
+                 heartbeat_interval: float = 0.1,
+                 channel_base_delay: float = 0.0002,
+                 channel_per_byte_delay: float = 2e-8,
+                 channel_loss: float = 0.0,
+                 checkpoint_base_cost: float = 0.010,
+                 checkpoint_per_byte_cost: float = 1e-7,
+                 parallel_lanes: bool = False,
+                 seed: int = 0):
+        self.controller = controller
+        self.sim = controller.sim
+        self.mode = mode
+        self.checkpoint_interval = checkpoint_interval
+        self.heartbeat_interval = heartbeat_interval
+        self.channel_base_delay = channel_base_delay
+        self.channel_per_byte_delay = channel_per_byte_delay
+        self.channel_loss = channel_loss
+        self.checkpoint_base_cost = checkpoint_base_cost
+        self.checkpoint_per_byte_cost = checkpoint_per_byte_cost
+        self.seed = seed
+        self.crashpad = CrashPad(policy_table=policy_table,
+                                 tickets=TicketStore())
+        self.proxy = AppVisorProxy(
+            controller,
+            mode=mode,
+            crashpad=self.crashpad,
+            byzantine_check=byzantine_check,
+            shutdown_on_critical=shutdown_on_critical,
+            parallel_lanes=parallel_lanes,
+        )
+        self.stubs: Dict[str, AppVisorStub] = {}
+        self.channels: Dict[str, UdpChannel] = {}
+
+    # -- app lifecycle ----------------------------------------------------
+
+    def launch_app(self, app_or_factory,
+                   limits: Optional[ResourceLimits] = None,
+                   checkpoint_interval: Optional[int] = None,
+                   replica_factory=None) -> AppVisorStub:
+        """Host an app (instance or zero-arg factory) in its own sandbox.
+
+        Unlike the monolithic runtime, no factory is *needed* --
+        LegoSDN recovers apps by checkpoint restore, never by
+        re-instantiation -- but factories are accepted so experiment
+        code can drive both runtimes identically.  When a factory is
+        given (or ``replica_factory`` explicitly), the stub also gains
+        STS-style minimisation of cumulative multi-event bugs (§5),
+        which needs scratch replicas of the app.
+        """
+        if isinstance(app_or_factory, SDNApp):
+            app = app_or_factory
+        else:
+            app = app_or_factory()
+            if replica_factory is None:
+                replica_factory = app_or_factory
+        if app.name in self.stubs:
+            raise ValueError(f"app {app.name!r} already launched")
+        store = CheckpointStore(
+            base_cost=self.checkpoint_base_cost,
+            per_byte_cost=self.checkpoint_per_byte_cost,
+        )
+        stub = AppVisorStub(
+            self.sim, app,
+            checkpoint_store=store,
+            checkpoint_interval=(checkpoint_interval
+                                 or self.checkpoint_interval),
+            heartbeat_interval=self.heartbeat_interval,
+            limits=limits,
+            replica_factory=replica_factory,
+        )
+        channel = UdpChannel(
+            self.sim,
+            base_delay=self.channel_base_delay,
+            per_byte_delay=self.channel_per_byte_delay,
+            loss=self.channel_loss,
+            seed=self.seed + len(self.stubs),
+        )
+        self.proxy.attach_stub(stub, channel)
+        self.stubs[app.name] = stub
+        self.channels[app.name] = channel
+        return stub
+
+    # -- accessors ------------------------------------------------------------
+
+    def app(self, name: str) -> SDNApp:
+        """The live app instance (for test/experiment inspection)."""
+        return self.stubs[name].app
+
+    def stub(self, name: str) -> AppVisorStub:
+        return self.stubs[name]
+
+    def record(self, name: str):
+        """The proxy's bookkeeping record for an app."""
+        return self.proxy.record(name)
+
+    @property
+    def is_up(self) -> bool:
+        """Controller liveness -- stays True through app crashes."""
+        return not self.controller.crashed
+
+    def live_apps(self) -> List[str]:
+        return self.proxy.live_apps()
+
+    @property
+    def tickets(self) -> TicketStore:
+        return self.crashpad.tickets
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return self.proxy.stats()
+
+    def total_crashes(self) -> int:
+        return sum(s["crashes"] for s in self.stats().values())
+
+    def total_recoveries(self) -> int:
+        return sum(s["recoveries"] for s in self.stats().values())

@@ -1,0 +1,29 @@
+"""Fault injection: the synthetic bug corpus and the app wrapper.
+
+Models the paper's FlowScale bug-tracker study (§2.1: 16% of reported
+bugs were catastrophic) and its fault taxonomy: fail-stop crashes,
+hangs, and byzantine failures (output that violates network
+invariants), each deterministic or non-deterministic.
+"""
+
+from repro.faults.bugs import (
+    Bug,
+    BugKind,
+    CATASTROPHIC_KINDS,
+    InjectedBugError,
+    AppHang,
+    make_bug_corpus,
+)
+from repro.faults.injector import FaultyApp, PartialPolicyApp, crash_on
+
+__all__ = [
+    "AppHang",
+    "Bug",
+    "BugKind",
+    "CATASTROPHIC_KINDS",
+    "FaultyApp",
+    "InjectedBugError",
+    "PartialPolicyApp",
+    "crash_on",
+    "make_bug_corpus",
+]

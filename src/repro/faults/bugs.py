@@ -1,0 +1,146 @@
+"""The bug corpus.
+
+Each :class:`Bug` is a declarative fault: *when* it fires (event type,
+switch, payload marker, event count, probability) and *what* it does
+(crash, hang, install byzantine rules, or log benignly).  The paper's
+observations drive the defaults:
+
+- §2.1: 16% of FlowScale's reported bugs were catastrophic;
+  :func:`make_bug_corpus` reproduces that mix.
+- §1/§3.3: "given the event-driven nature of SDN-Apps, bugs will most
+  likely be deterministic" -- the corpus is 90% deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class InjectedBugError(RuntimeError):
+    """The exception a CRASH bug raises (an unhandled app exception)."""
+
+
+class AppHang(Exception):
+    """Signals that the app process wedged: no crash, no response.
+
+    The sandbox interprets this as the process becoming unresponsive,
+    so only the heartbeat-based failure detector can notice it.
+    """
+
+
+class BugKind(enum.Enum):
+    """The fault taxonomy from the paper's motivation section."""
+
+    CRASH = "crash"                  # fail-stop: unhandled exception
+    HANG = "hang"                    # fail-stop variant: wedged process
+    BYZANTINE_LOOP = "byz-loop"      # installs a forwarding loop
+    BYZANTINE_BLACKHOLE = "byz-blackhole"  # installs a black-hole rule
+    STATE_CORRUPTION = "state-corruption"  # corrupts app state, crashes later
+    BENIGN = "benign"                # logged error, no failure
+
+
+#: Kinds that take down the app (the bug study's "catastrophic" class).
+CATASTROPHIC_KINDS = frozenset({
+    BugKind.CRASH,
+    BugKind.HANG,
+    BugKind.BYZANTINE_LOOP,
+    BugKind.BYZANTINE_BLACKHOLE,
+    BugKind.STATE_CORRUPTION,
+})
+
+
+@dataclass
+class Bug:
+    """One injectable bug."""
+
+    bug_id: str
+    kind: BugKind
+    event_type: str = "PacketIn"
+    dpid: Optional[int] = None
+    payload_marker: Optional[str] = None
+    after_n_events: int = 0
+    deterministic: bool = True
+    probability: float = 0.3  # per-match fire probability when non-deterministic
+    description: str = ""
+    fired_count: int = 0
+
+    # -- trigger ---------------------------------------------------------
+
+    def matches(self, event, event_count: int) -> bool:
+        """Does ``event`` (the app's ``event_count``-th) hit the trigger?"""
+        if event.type_name != self.event_type:
+            return False
+        if self.dpid is not None and getattr(event, "dpid", None) != self.dpid:
+            return False
+        if event_count < self.after_n_events:
+            return False
+        if self.payload_marker is not None:
+            packet = getattr(event, "packet", None)
+            payload = getattr(packet, "payload", "") or ""
+            if self.payload_marker not in payload:
+                return False
+        return True
+
+    def fires(self, event, event_count: int, rng: random.Random) -> bool:
+        """Trigger check including the (non-)determinism coin flip.
+
+        Deterministic bugs fire on *every* matching event -- replaying
+        the offending event after a restore crashes the app again,
+        which is why Crash-Pad must transform or ignore it.
+        """
+        if not self.matches(event, event_count):
+            return False
+        if self.deterministic:
+            return True
+        return rng.random() < self.probability
+
+    def is_catastrophic(self) -> bool:
+        return self.kind in CATASTROPHIC_KINDS
+
+
+def make_bug_corpus(n: int = 100, catastrophic_fraction: float = 0.16,
+                    deterministic_fraction: float = 0.9,
+                    seed: int = 0) -> List[Bug]:
+    """Build a corpus with the FlowScale bug-study mix.
+
+    ``catastrophic_fraction`` of the bugs are catastrophic (split
+    across crash / hang / byzantine / state-corruption kinds in rough
+    proportion to how such failures present in practice: most
+    catastrophic bugs are plain unhandled exceptions); the rest are
+    benign.  Each bug gets a unique payload marker so experiments can
+    trigger bugs individually with crafted packets.
+    """
+    if not 0.0 <= catastrophic_fraction <= 1.0:
+        raise ValueError("catastrophic_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    n_catastrophic = round(n * catastrophic_fraction)
+    # Weighted split of the catastrophic class (plain crashes dominate
+    # real bug trackers).  The kinds are interleaved so that even a
+    # small corpus samples every failure mode.
+    catastrophic_kinds = (
+        BugKind.CRASH, BugKind.HANG,
+        BugKind.CRASH, BugKind.BYZANTINE_LOOP,
+        BugKind.CRASH, BugKind.BYZANTINE_BLACKHOLE,
+        BugKind.CRASH, BugKind.STATE_CORRUPTION,
+    )
+    bugs = []
+    for i in range(n):
+        if i < n_catastrophic:
+            kind = catastrophic_kinds[i % len(catastrophic_kinds)]
+        else:
+            kind = BugKind.BENIGN
+        bugs.append(
+            Bug(
+                bug_id=f"bug-{i:03d}",
+                kind=kind,
+                payload_marker=f"trigger-{i:03d}",
+                deterministic=rng.random() < deterministic_fraction,
+                probability=0.5,
+                description=f"synthetic {kind.value} bug #{i}",
+            )
+        )
+    rng.shuffle(bugs)
+    return bugs

@@ -1,0 +1,197 @@
+"""FaultyApp: wrap any SDN-App with an injection schedule.
+
+The wrapper is itself an ordinary :class:`~repro.apps.base.SDNApp`, so
+both runtimes host it without knowing it is instrumented.  Bug
+behaviours execute *before* the inner app sees the event, modelling a
+fault in the app's own handler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.apps.base import SDNApp
+from repro.faults.bugs import AppHang, Bug, BugKind, InjectedBugError
+from repro.openflow.actions import Drop, Output
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+
+
+class FaultyApp(SDNApp):
+    """An SDN-App instrumented with a list of injectable bugs."""
+
+    def __init__(self, inner: SDNApp, bugs: Iterable[Bug], seed: int = 0):
+        super().__init__(name=inner.name)
+        self.subscriptions = tuple(inner.subscriptions)
+        self.inner = inner
+        self.bugs: List[Bug] = list(bugs)
+        self.rng = random.Random(seed)
+        self.event_count = 0
+        self.corrupted = False
+        self.fired_log: List[str] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def startup(self, api) -> None:
+        self.api = api
+        self.inner.startup(api)
+
+    # -- event handling ------------------------------------------------------
+
+    def handle(self, event):
+        self.events_handled += 1
+        self.event_count += 1
+        if self.corrupted:
+            # State corruption surfaces as a crash on the *next* event,
+            # i.e. the offending event is not the one that crashes.
+            raise InjectedBugError(f"{self.name}: corrupted state dereference")
+        for bug in self.bugs:
+            if bug.fires(event, self.event_count, self.rng):
+                bug.fired_count += 1
+                self.fired_log.append(bug.bug_id)
+                self._execute(bug, event)
+        return self.inner.handle(event)
+
+    def _execute(self, bug: Bug, event) -> None:
+        kind = bug.kind
+        if kind == BugKind.CRASH:
+            raise InjectedBugError(f"{bug.bug_id}: {bug.description}")
+        if kind == BugKind.HANG:
+            raise AppHang(bug.bug_id)
+        if kind == BugKind.STATE_CORRUPTION:
+            self.corrupted = True
+            return
+        if kind == BugKind.BYZANTINE_LOOP:
+            self._install_loop(event)
+            return
+        if kind == BugKind.BYZANTINE_BLACKHOLE:
+            self._install_blackhole(event)
+            return
+        if kind == BugKind.BENIGN:
+            if self.api is not None:
+                self.api.log(f"{bug.bug_id}: benign error, recovered internally")
+            return
+        raise ValueError(f"unknown bug kind: {kind!r}")
+
+    # -- byzantine behaviours ----------------------------------------------------
+
+    def _install_loop(self, event) -> None:
+        """Install a two-switch forwarding loop on some discovered link.
+
+        The rules are high-priority and match broadly, so regular
+        traffic entering either switch ping-pongs until TTL death --
+        the classic byzantine failure the invariant checker must catch.
+        """
+        topo = self.api.topology()
+        if not topo.links:
+            return
+        dpid_a, port_a, dpid_b, port_b = topo.links[0]
+        loop_match = Match(eth_type=0x0800)
+        for dpid, port in ((dpid_a, port_a), (dpid_b, port_b)):
+            self.api.emit(
+                dpid,
+                FlowMod(match=loop_match, command=FlowModCommand.ADD,
+                        priority=5000, actions=(Output(port),)),
+            )
+
+    def _install_blackhole(self, event) -> None:
+        """Install a top-priority drop-all rule at the event's switch."""
+        dpid = getattr(event, "dpid", None)
+        if dpid is None:
+            switches = self.api.switches()
+            if not switches:
+                return
+            dpid = switches[0]
+        self.api.emit(
+            dpid,
+            FlowMod(match=Match(), command=FlowModCommand.ADD,
+                    priority=6000, actions=(Drop(),)),
+        )
+
+    # -- checkpoint contract --------------------------------------------------------
+
+    def get_state(self) -> dict:
+        return {
+            "name": self.name,
+            "subscriptions": self.subscriptions,
+            "events_handled": self.events_handled,
+            "event_count": self.event_count,
+            "corrupted": self.corrupted,
+            "fired_log": list(self.fired_log),
+            "rng_state": self.rng.getstate(),
+            "inner_state": self.inner.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.name = state["name"]
+        self.subscriptions = state["subscriptions"]
+        self.events_handled = state["events_handled"]
+        self.event_count = state["event_count"]
+        self.corrupted = state["corrupted"]
+        self.fired_log = list(state["fired_log"])
+        self.rng.setstate(state["rng_state"])
+        self.inner.set_state(state["inner_state"])
+
+
+class PartialPolicyApp(SDNApp):
+    """Installs a multi-switch policy, then crashes partway through.
+
+    The scenario behind NetLog's transactions (§3.4): "When an
+    application crashes after installing a few rules, it is not clear
+    whether the few rules issued were part of a larger set".  On a
+    PacketIn carrying ``marker``, the app emits one FlowMod per switch
+    in ``policy_dpids`` and raises after ``crash_after`` of them --
+    leaving orphan rules unless the runtime rolls the transaction back.
+    """
+
+    name = "partial_policy"
+    subscriptions = ("PacketIn",)
+
+    def __init__(self, policy_dpids, crash_after: Optional[int] = None,
+                 marker: str = "POLICY", priority: int = 400, name=None):
+        super().__init__(name)
+        self.policy_dpids = tuple(policy_dpids)
+        self.crash_after = crash_after
+        self.marker = marker
+        self.priority = priority
+        self.policies_installed = 0
+
+    def on_packet_in(self, event):
+        payload = getattr(event.packet, "payload", "") or ""
+        if self.marker not in payload:
+            return
+        match = Match(eth_dst=event.packet.eth_dst)
+        for i, dpid in enumerate(self.policy_dpids):
+            if self.crash_after is not None and i >= self.crash_after:
+                raise InjectedBugError(
+                    f"{self.name}: crashed after {i}/{len(self.policy_dpids)} "
+                    "rules of the policy"
+                )
+            self.api.emit(
+                dpid,
+                FlowMod(match=match, command=FlowModCommand.ADD,
+                        priority=self.priority, actions=(Drop(),)),
+            )
+        self.policies_installed += 1
+
+
+def crash_on(inner: SDNApp, event_type: str = "PacketIn",
+             dpid: Optional[int] = None,
+             payload_marker: Optional[str] = None,
+             after_n_events: int = 0,
+             deterministic: bool = True,
+             kind: BugKind = BugKind.CRASH,
+             seed: int = 0) -> FaultyApp:
+    """Convenience: wrap ``inner`` with a single targeted bug."""
+    bug = Bug(
+        bug_id=f"{inner.name}-{kind.value}",
+        kind=kind,
+        event_type=event_type,
+        dpid=dpid,
+        payload_marker=payload_marker,
+        after_n_events=after_n_events,
+        deterministic=deterministic,
+        description=f"injected {kind.value} on {event_type}",
+    )
+    return FaultyApp(inner, [bug], seed=seed)

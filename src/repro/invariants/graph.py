@@ -1,0 +1,192 @@
+"""Forwarding-state snapshots and symbolic packet tracing.
+
+A :class:`NetSnapshot` freezes everything the checker needs: per-switch
+flow tables, inter-switch adjacency, and host attachment points.  It
+can be built from the live network (ground truth, used in tests) or
+from NetLog's shadow tables (the controller's view, used by Crash-Pad
+to vet an app's output *before* trusting it).
+
+:func:`trace` walks a probe packet through the snapshot, following
+every branch a Flood action creates, and reports deliveries, drops,
+controller punts, and loops (a branch revisiting the same
+``(switch, port, header)`` state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.openflow.actions import Drop, Enqueue, Flood, Output, ToController
+from repro.openflow.flowtable import FlowTable
+
+PortKey = Tuple[int, int]  # (dpid, port)
+
+
+@dataclass
+class HostAttachment:
+    """Where one host plugs into the network."""
+
+    mac: str
+    ip: Optional[str]
+    dpid: int
+    port: int
+
+
+@dataclass
+class NetSnapshot:
+    """Frozen forwarding state for invariant checking."""
+
+    tables: Dict[int, FlowTable]
+    adjacency: Dict[PortKey, PortKey]  # (dpid, port) -> (peer dpid, peer port)
+    hosts: Dict[str, HostAttachment]   # mac -> attachment
+
+    @classmethod
+    def from_network(cls, net) -> "NetSnapshot":
+        """Ground-truth snapshot of a live simulation."""
+        tables = {dpid: sw.flow_table for dpid, sw in net.switches.items()}
+        adjacency: Dict[PortKey, PortKey] = {}
+        hosts: Dict[str, HostAttachment] = {}
+        for dpid, switch in net.switches.items():
+            for port, link in switch.ports.items():
+                if not link.up:
+                    continue
+                peer, peer_port = link.other_end(switch)
+                if hasattr(peer, "dpid"):
+                    adjacency[(dpid, port)] = (peer.dpid, peer_port)
+                else:  # a host
+                    hosts[peer.mac] = HostAttachment(
+                        mac=peer.mac, ip=peer.ip, dpid=dpid, port=port
+                    )
+        return cls(tables=tables, adjacency=adjacency, hosts=hosts)
+
+    @classmethod
+    def from_tables(cls, tables: Dict[int, FlowTable], topo_view,
+                    host_entries) -> "NetSnapshot":
+        """Controller-view snapshot: shadow tables + discovered topology.
+
+        ``topo_view`` is a :class:`~repro.controller.api.TopoView`;
+        ``host_entries`` maps mac -> HostEntry (the device manager's
+        table).
+        """
+        adjacency: Dict[PortKey, PortKey] = {}
+        for dpid_a, port_a, dpid_b, port_b in topo_view.links:
+            adjacency[(dpid_a, port_a)] = (dpid_b, port_b)
+            adjacency[(dpid_b, port_b)] = (dpid_a, port_a)
+        hosts = {
+            mac: HostAttachment(mac=mac, ip=entry.ip,
+                                dpid=entry.dpid, port=entry.port)
+            for mac, entry in host_entries.items()
+        }
+        return cls(tables=dict(tables), adjacency=adjacency, hosts=hosts)
+
+    def ports_of(self, dpid: int) -> Set[int]:
+        """Every port of ``dpid`` known to the snapshot."""
+        ports = {p for d, p in self.adjacency if d == dpid}
+        ports.update(h.port for h in self.hosts.values() if h.dpid == dpid)
+        return ports
+
+
+@dataclass
+class TraceResult:
+    """Everything that happened to one probe packet."""
+
+    delivered_to: Set[PortKey] = field(default_factory=set)
+    delivered_macs: Set[str] = field(default_factory=set)
+    controller_punts: int = 0
+    drops: int = 0
+    loops: List[Tuple[int, int]] = field(default_factory=list)  # (dpid, port)
+    switches_visited: Set[int] = field(default_factory=set)
+
+    @property
+    def looped(self) -> bool:
+        return bool(self.loops)
+
+    @property
+    def delivered(self) -> bool:
+        return bool(self.delivered_to)
+
+    @property
+    def blackholed(self) -> bool:
+        """Dropped by forwarding state without reaching anyone or the
+        controller -- the byzantine outcome the paper worries about."""
+        return (not self.delivered and self.controller_punts == 0
+                and self.drops > 0 and not self.looped)
+
+
+def _header_key(packet) -> tuple:
+    """The part of the packet state that defines a loop (TTL excluded)."""
+    return (packet.eth_src, packet.eth_dst, packet.eth_type, packet.vlan_id,
+            packet.ip_src, packet.ip_dst, packet.ip_proto,
+            packet.tp_src, packet.tp_dst)
+
+
+def trace(snapshot: NetSnapshot, start_dpid: int, in_port: int, packet,
+          max_depth: int = 64) -> TraceResult:
+    """Symbolically forward ``packet`` from ``(start_dpid, in_port)``.
+
+    Depth-first over flood branches; each branch carries its own
+    visited set so a diamond topology (the same switch reached via two
+    disjoint paths) is not misreported as a loop.
+    """
+    result = TraceResult()
+    host_ports = {(h.dpid, h.port): h.mac for h in snapshot.hosts.values()}
+
+    def walk(dpid: int, port: int, pkt, path: frozenset, depth: int) -> None:
+        state = (dpid, port, _header_key(pkt))
+        if state in path:
+            result.loops.append((dpid, port))
+            return
+        if depth > max_depth:
+            result.loops.append((dpid, port))
+            return
+        path = path | {state}
+        result.switches_visited.add(dpid)
+        table = snapshot.tables.get(dpid)
+        if table is None:
+            result.drops += 1
+            return
+        entry = table.lookup(pkt, port)
+        if entry is None:
+            # Table miss: OpenFlow punts to the controller.
+            result.controller_punts += 1
+            return
+        emitted = False
+        current = pkt
+        for action in entry.actions:
+            if isinstance(action, (Output, Enqueue)):
+                emitted = True
+                _egress(dpid, action.port, port, current, path, depth)
+            elif isinstance(action, Flood):
+                emitted = True
+                for out_port in sorted(snapshot.ports_of(dpid)):
+                    if out_port != port:
+                        _egress(dpid, out_port, port, current, path, depth)
+            elif isinstance(action, ToController):
+                emitted = True
+                result.controller_punts += 1
+            elif isinstance(action, Drop):
+                result.drops += 1
+                return
+            else:
+                current = action.apply(current)
+        if not emitted:
+            # Empty / rewrite-only action list is an implicit drop.
+            result.drops += 1
+
+    def _egress(dpid: int, out_port: int, in_port_: int, pkt,
+                path: frozenset, depth: int) -> None:
+        key = (dpid, out_port)
+        if key in host_ports:
+            result.delivered_to.add(key)
+            result.delivered_macs.add(host_ports[key])
+            return
+        nxt = snapshot.adjacency.get(key)
+        if nxt is None:
+            # Egress into a dead or unknown port.
+            result.drops += 1
+            return
+        walk(nxt[0], nxt[1], pkt, path, depth + 1)
+
+    walk(start_dpid, in_port, packet, frozenset(), 0)
+    return result

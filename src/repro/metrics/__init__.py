@@ -1,0 +1,6 @@
+"""Measurement support for the benchmark harness."""
+
+from repro.metrics.availability import AvailabilityTracker
+from repro.metrics.collector import LatencyRecorder, MetricsCollector
+
+__all__ = ["AvailabilityTracker", "LatencyRecorder", "MetricsCollector"]

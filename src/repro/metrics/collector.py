@@ -1,0 +1,87 @@
+"""Counters and latency recorders."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class LatencyRecorder:
+    """Collects samples; reports mean/percentiles.
+
+    Percentiles use the nearest-rank method over sorted samples --
+    small-sample-friendly, which matters because control-loop
+    experiments often record tens, not millions, of samples.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return math.nan
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self.samples:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class MetricsCollector:
+    """A named bag of counters and latency recorders."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.recorders: Dict[str, LatencyRecorder] = {}
+
+    def inc(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def observe(self, name: str, value: float) -> None:
+        recorder = self.recorders.get(name)
+        if recorder is None:
+            recorder = self.recorders[name] = LatencyRecorder(name)
+        recorder.record(value)
+
+    def recorder(self, name: str) -> Optional[LatencyRecorder]:
+        return self.recorders.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": dict(self.counters),
+            "timers": {name: r.summary() for name, r in self.recorders.items()},
+        }

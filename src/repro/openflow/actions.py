@@ -1,0 +1,116 @@
+"""OpenFlow actions.
+
+Actions are immutable dataclasses applied by a switch datapath to a
+matched packet, in list order.  Header-rewriting actions return a new
+packet (packets are immutable in the simulator); forwarding actions are
+interpreted by the datapath (:mod:`repro.network.switch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class for all actions."""
+
+    def apply(self, packet):
+        """Header-rewrite hook; forwarding actions return the packet unchanged."""
+        return packet
+
+
+@dataclass(frozen=True)
+class Output(Action):
+    """Forward the packet out of a specific port."""
+
+    port: int
+
+
+@dataclass(frozen=True)
+class Flood(Action):
+    """Forward out of every port except the ingress port."""
+
+
+@dataclass(frozen=True)
+class ToController(Action):
+    """Punt the packet to the controller as a PacketIn."""
+
+
+@dataclass(frozen=True)
+class Drop(Action):
+    """Explicitly drop the packet.
+
+    OpenFlow encodes drop as an empty action list; the simulator keeps
+    an explicit action so that flow dumps and problem tickets are
+    unambiguous.
+    """
+
+
+@dataclass(frozen=True)
+class Enqueue(Action):
+    """Forward out of ``port`` via queue ``queue_id`` (QoS modelling)."""
+
+    port: int
+    queue_id: int = 0
+
+
+@dataclass(frozen=True)
+class SetEthSrc(Action):
+    """Rewrite the Ethernet source address."""
+
+    eth_src: str
+
+    def apply(self, packet):
+        return replace(packet, eth_src=self.eth_src)
+
+
+@dataclass(frozen=True)
+class SetEthDst(Action):
+    """Rewrite the Ethernet destination address."""
+
+    eth_dst: str
+
+    def apply(self, packet):
+        return replace(packet, eth_dst=self.eth_dst)
+
+
+@dataclass(frozen=True)
+class SetIpSrc(Action):
+    """Rewrite the IPv4 source address (load balancers, NAT)."""
+
+    ip_src: str
+
+    def apply(self, packet):
+        return replace(packet, ip_src=self.ip_src)
+
+
+@dataclass(frozen=True)
+class SetIpDst(Action):
+    """Rewrite the IPv4 destination address (load balancers, NAT)."""
+
+    ip_dst: str
+
+    def apply(self, packet):
+        return replace(packet, ip_dst=self.ip_dst)
+
+
+def output_ports(actions, in_port, all_ports):
+    """Resolve an action list to the set of egress ports for a packet.
+
+    ``all_ports`` is the switch's live port set; ``in_port`` is the
+    packet's ingress port (excluded by :class:`Flood`).  Rewrites are
+    *not* applied here -- this helper is used by the invariant checker,
+    which only needs forwarding behaviour.
+    """
+    ports = set()
+    for action in actions:
+        if isinstance(action, Output):
+            ports.add(action.port)
+        elif isinstance(action, Enqueue):
+            ports.add(action.port)
+        elif isinstance(action, Flood):
+            ports.update(p for p in all_ports if p != in_port)
+        elif isinstance(action, Drop):
+            return set()
+    return ports

@@ -1,0 +1,255 @@
+"""Priority-ordered flow table with timeouts and counters.
+
+The flow table is the switch-side state that NetLog must be able to
+roll back *exactly*, including idle/hard timeouts and per-entry
+counters -- the paper calls out that "while it is possible to undo a
+flow delete event ... the flow timeout and flow counters cannot be
+restored" without extra bookkeeping, which NetLog's counter-cache
+provides (:mod:`repro.core.netlog.counter_cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    FlowRemovedReason,
+)
+
+
+@dataclass
+class FlowEntry:
+    """One installed flow rule.
+
+    ``installed_at`` / ``last_hit_at`` are simulator timestamps used to
+    evaluate hard and idle timeouts; ``packet_count`` / ``byte_count``
+    are the counters statistics replies report.
+    """
+
+    match: Match
+    priority: int
+    actions: Tuple[Action, ...]
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    cookie: int = 0
+    send_flow_removed: bool = False
+    installed_at: float = 0.0
+    last_hit_at: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+
+    def hit(self, packet, now: float) -> None:
+        """Account a packet against this entry."""
+        self.packet_count += 1
+        self.byte_count += getattr(packet, "size", 0)
+        self.last_hit_at = now
+
+    def is_expired(self, now: float) -> Optional[FlowRemovedReason]:
+        """Return the expiry reason if this entry has timed out, else None."""
+        if self.hard_timeout > 0 and now - self.installed_at >= self.hard_timeout:
+            return FlowRemovedReason.HARD_TIMEOUT
+        if self.idle_timeout > 0 and now - self.last_hit_at >= self.idle_timeout:
+            return FlowRemovedReason.IDLE_TIMEOUT
+        return None
+
+    def remaining_hard_timeout(self, now: float) -> float:
+        """Hard timeout remaining at ``now`` (0 if permanent).
+
+        NetLog re-installs deleted entries with the *remaining* timeout,
+        not the original one, so restored entries expire when the
+        originals would have.
+        """
+        if self.hard_timeout <= 0:
+            return 0.0
+        return max(0.0, self.hard_timeout - (now - self.installed_at))
+
+    def same_rule(self, match: Match, priority: int) -> bool:
+        """Strict identity: same match and same priority (OFPFC_*_STRICT)."""
+        return self.priority == priority and self.match == match
+
+    def clone(self) -> "FlowEntry":
+        """Deep-enough copy used for pre-state snapshots (actions are immutable)."""
+        return FlowEntry(
+            match=self.match,
+            priority=self.priority,
+            actions=self.actions,
+            idle_timeout=self.idle_timeout,
+            hard_timeout=self.hard_timeout,
+            cookie=self.cookie,
+            send_flow_removed=self.send_flow_removed,
+            installed_at=self.installed_at,
+            last_hit_at=self.last_hit_at,
+            packet_count=self.packet_count,
+            byte_count=self.byte_count,
+        )
+
+
+@dataclass
+class FlowTable:
+    """A single OpenFlow table: priority-ordered lookup plus mutation.
+
+    Entries are kept sorted by descending priority (ties broken by
+    insertion order, matching hardware behaviour closely enough for the
+    invariant checker to be deterministic).
+    """
+
+    entries: List[FlowEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # -- lookup --------------------------------------------------------
+
+    def lookup(self, packet, in_port: int) -> Optional[FlowEntry]:
+        """Highest-priority entry matching ``packet`` on ``in_port``."""
+        for entry in self.entries:
+            if entry.match.matches(packet, in_port):
+                return entry
+        return None
+
+    def find(self, match: Match, priority: Optional[int] = None) -> List[FlowEntry]:
+        """Entries whose match is a subset of ``match`` (non-strict select).
+
+        With ``priority`` given, restrict to strict (exact match+priority)
+        identity -- the OFPFC_*_STRICT selection rule.
+        """
+        if priority is not None:
+            return [e for e in self.entries if e.same_rule(match, priority)]
+        return [e for e in self.entries if e.match.is_subset_of(match)]
+
+    # -- mutation (FlowMod semantics) ----------------------------------
+
+    def apply_flow_mod(self, mod: FlowMod, now: float) -> List[FlowEntry]:
+        """Apply a FlowMod; return the entries *removed or overwritten*.
+
+        The returned pre-state entries are exactly what NetLog needs to
+        compute the inverse of ``mod`` (see
+        :func:`repro.openflow.inversion.invert`).
+        """
+        cmd = mod.command
+        if cmd == FlowModCommand.ADD:
+            return self._add(mod, now)
+        if cmd in (FlowModCommand.MODIFY, FlowModCommand.MODIFY_STRICT):
+            return self._modify(mod, now, strict=cmd == FlowModCommand.MODIFY_STRICT)
+        if cmd in (FlowModCommand.DELETE, FlowModCommand.DELETE_STRICT):
+            return self._delete(mod, strict=cmd == FlowModCommand.DELETE_STRICT)
+        raise ValueError(f"unknown FlowMod command: {cmd!r}")
+
+    def _add(self, mod: FlowMod, now: float) -> List[FlowEntry]:
+        displaced = [
+            e for e in self.entries if e.same_rule(mod.match, mod.priority)
+        ]
+        for entry in displaced:
+            self.entries.remove(entry)
+        entry = FlowEntry(
+            match=mod.match,
+            priority=mod.priority,
+            actions=mod.actions,
+            idle_timeout=mod.idle_timeout,
+            hard_timeout=mod.hard_timeout,
+            cookie=mod.cookie,
+            send_flow_removed=mod.send_flow_removed,
+            installed_at=now,
+            last_hit_at=now,
+        )
+        self._insert_sorted(entry)
+        return [e.clone() for e in displaced]
+
+    def _modify(self, mod: FlowMod, now: float, strict: bool) -> List[FlowEntry]:
+        targets = self.find(mod.match, mod.priority if strict else None)
+        if not targets:
+            # OpenFlow 1.0: MODIFY with no matching entry behaves as ADD.
+            self._add(mod, now)
+            return []
+        snapshots = [e.clone() for e in targets]
+        for entry in targets:
+            entry.actions = mod.actions
+            entry.cookie = mod.cookie
+        return snapshots
+
+    def _delete(self, mod: FlowMod, strict: bool) -> List[FlowEntry]:
+        targets = self.find(mod.match, mod.priority if strict else None)
+        if mod.out_port is not None:
+            from repro.openflow.actions import Enqueue, Output
+
+            def forwards_to(entry):
+                return any(
+                    isinstance(a, (Output, Enqueue)) and a.port == mod.out_port
+                    for a in entry.actions
+                )
+
+            targets = [e for e in targets if forwards_to(e)]
+        snapshots = [e.clone() for e in targets]
+        for entry in targets:
+            self.entries.remove(entry)
+        return snapshots
+
+    def _insert_sorted(self, entry: FlowEntry) -> None:
+        idx = len(self.entries)
+        for i, existing in enumerate(self.entries):
+            if existing.priority < entry.priority:
+                idx = i
+                break
+        self.entries.insert(idx, entry)
+
+    # -- timeouts --------------------------------------------------------
+
+    def expire(self, now: float, dpid: int = 0) -> List[FlowRemoved]:
+        """Remove expired entries; return FlowRemoved messages to emit.
+
+        FlowRemoved is only generated for entries installed with
+        ``send_flow_removed`` (the OFPFF_SEND_FLOW_REM flag).
+        """
+        removed_msgs = []
+        survivors = []
+        for entry in self.entries:
+            reason = entry.is_expired(now)
+            if reason is None:
+                survivors.append(entry)
+                continue
+            if entry.send_flow_removed:
+                removed_msgs.append(
+                    FlowRemoved(
+                        dpid=dpid,
+                        match=entry.match,
+                        priority=entry.priority,
+                        reason=reason,
+                        cookie=entry.cookie,
+                        duration=now - entry.installed_at,
+                        packet_count=entry.packet_count,
+                        byte_count=entry.byte_count,
+                        idle_timeout=entry.idle_timeout,
+                    )
+                )
+        self.entries = survivors
+        return removed_msgs
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> List[FlowEntry]:
+        """Deep copy of all entries (consistency checks, fingerprints)."""
+        return [e.clone() for e in self.entries]
+
+    def fingerprint(self, include_counters: bool = False) -> tuple:
+        """Hashable summary of table contents for byte-identity checks.
+
+        E4 (NetLog rollback) asserts that post-rollback fingerprints --
+        *including counters*, courtesy of the counter-cache -- equal the
+        pre-transaction fingerprints.
+        """
+        rows = []
+        for e in sorted(self.entries, key=lambda e: (-e.priority, str(e.match))):
+            row = (e.match, e.priority, e.actions, e.idle_timeout, e.hard_timeout)
+            if include_counters:
+                row += (e.packet_count, e.byte_count)
+            rows.append(row)
+        return tuple(rows)

@@ -1,0 +1,324 @@
+"""Byte-level wire format for OpenFlow messages.
+
+The AppVisor proxy and stub live in different fault domains and talk
+over a (simulated) UDP channel, so every message crossing the boundary
+is serialised to bytes and parsed back (§3.1: "serialization and
+de-serialization of messages ... introduce additional latency into the
+control-loop").  This module provides that codec.
+
+The format is a compact self-describing binary encoding (not the exact
+OpenFlow 1.0 wire layout -- the simulator's packets carry symbolic
+addresses -- but with the same structure: a fixed header carrying the
+message type and xid, followed by a typed body).  Encoding real bytes
+matters because the E2 latency experiment charges the RPC channel per
+encoded byte.
+
+Layout::
+
+    header:  type_id (u8) | xid (u32) | body_len (u32)
+    body:    field_count (u8), then per field: name (str) | value (tagged)
+
+Tagged values: a tag byte followed by a type-specific payload.  Lists,
+tuples, enums, and registered dataclasses (Match, every Action, packet
+classes, stats entries) nest recursively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from typing import Dict, Type
+
+from repro.openflow import actions as _actions
+from repro.openflow import messages as _messages
+from repro.openflow.match import Match
+
+# -- value tags -------------------------------------------------------
+
+_T_NONE = 0
+_T_BOOL = 1
+_T_INT = 2
+_T_FLOAT = 3
+_T_STR = 4
+_T_BYTES = 5
+_T_LIST = 6
+_T_TUPLE = 7
+_T_DATACLASS = 8
+_T_ENUM = 9
+
+_HEADER = struct.Struct("!BII")
+
+#: Registered dataclasses encodable as values (name -> class).
+_dataclass_registry: Dict[str, type] = {}
+#: Registered enums (name -> class).
+_enum_registry: Dict[str, Type[enum.Enum]] = {}
+
+
+class SerializationError(ValueError):
+    """Raised when a value or buffer cannot be (de)serialised."""
+
+
+def register_dataclass(cls: type) -> type:
+    """Register a dataclass so it can cross the RPC boundary.
+
+    Used by the packet model and any custom app payloads.  Returns the
+    class so it can be used as a decorator.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise SerializationError(f"{cls.__name__} is not a dataclass")
+    _dataclass_registry[cls.__name__] = cls
+    return cls
+
+
+def register_enum(cls: Type[enum.Enum]) -> Type[enum.Enum]:
+    """Register an enum for wire transport."""
+    _enum_registry[cls.__name__] = cls
+    return cls
+
+
+class _Writer:
+    """Append-only binary buffer."""
+
+    def __init__(self):
+        self._chunks = []
+
+    def u8(self, v: int):
+        self._chunks.append(struct.pack("!B", v))
+
+    def i64(self, v: int):
+        self._chunks.append(struct.pack("!q", v))
+
+    def f64(self, v: float):
+        self._chunks.append(struct.pack("!d", v))
+
+    def raw(self, b: bytes):
+        self._chunks.append(struct.pack("!I", len(b)))
+        self._chunks.append(b)
+
+    def string(self, s: str):
+        self.raw(s.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class _Reader:
+    """Sequential binary reader over a buffer."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise SerializationError("truncated buffer")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack("!B", self._take(1))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("!q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("!d", self._take(8))[0]
+
+    def raw(self) -> bytes:
+        (n,) = struct.unpack("!I", self._take(4))
+        return self._take(n)
+
+    def string(self) -> str:
+        return self.raw().decode("utf-8")
+
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)
+
+
+def _write_value(w: _Writer, value) -> None:
+    if value is None:
+        w.u8(_T_NONE)
+    elif isinstance(value, bool):
+        w.u8(_T_BOOL)
+        w.u8(1 if value else 0)
+    elif isinstance(value, enum.Enum):
+        w.u8(_T_ENUM)
+        w.string(type(value).__name__)
+        w.i64(int(value.value))
+    elif isinstance(value, int):
+        w.u8(_T_INT)
+        w.i64(value)
+    elif isinstance(value, float):
+        w.u8(_T_FLOAT)
+        w.f64(value)
+    elif isinstance(value, str):
+        w.u8(_T_STR)
+        w.string(value)
+    elif isinstance(value, bytes):
+        w.u8(_T_BYTES)
+        w.raw(value)
+    elif isinstance(value, list):
+        w.u8(_T_LIST)
+        w.i64(len(value))
+        for item in value:
+            _write_value(w, item)
+    elif isinstance(value, tuple):
+        w.u8(_T_TUPLE)
+        w.i64(len(value))
+        for item in value:
+            _write_value(w, item)
+    elif dataclasses.is_dataclass(value):
+        name = type(value).__name__
+        if name not in _dataclass_registry:
+            raise SerializationError(f"unregistered dataclass on wire: {name}")
+        w.u8(_T_DATACLASS)
+        w.string(name)
+        flds = dataclasses.fields(value)
+        w.u8(len(flds))
+        for f in flds:
+            w.string(f.name)
+            _write_value(w, getattr(value, f.name))
+    else:
+        raise SerializationError(f"unserialisable value: {value!r}")
+
+
+def _read_value(r: _Reader):
+    tag = r.u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_BOOL:
+        return bool(r.u8())
+    if tag == _T_ENUM:
+        name = r.string()
+        value = r.i64()
+        cls = _enum_registry.get(name)
+        return cls(value) if cls is not None else value
+    if tag == _T_INT:
+        return r.i64()
+    if tag == _T_FLOAT:
+        return r.f64()
+    if tag == _T_STR:
+        return r.string()
+    if tag == _T_BYTES:
+        return r.raw()
+    if tag == _T_LIST:
+        return [_read_value(r) for _ in range(r.i64())]
+    if tag == _T_TUPLE:
+        return tuple(_read_value(r) for _ in range(r.i64()))
+    if tag == _T_DATACLASS:
+        name = r.string()
+        cls = _dataclass_registry.get(name)
+        if cls is None:
+            raise SerializationError(f"unknown dataclass on wire: {name}")
+        values = {}
+        for _ in range(r.u8()):
+            fname = r.string()
+            values[fname] = _read_value(r)
+        return cls(**values)
+    raise SerializationError(f"unknown value tag: {tag}")
+
+
+# -- message registry -------------------------------------------------
+
+_MESSAGE_TYPES = (
+    _messages.Hello,
+    _messages.EchoRequest,
+    _messages.EchoReply,
+    _messages.ErrorMsg,
+    _messages.FlowMod,
+    _messages.PacketOut,
+    _messages.BarrierRequest,
+    _messages.BarrierReply,
+    _messages.FlowStatsRequest,
+    _messages.FlowStatsReply,
+    _messages.PortStatsRequest,
+    _messages.PortStatsReply,
+    _messages.PacketIn,
+    _messages.FlowRemoved,
+    _messages.PortStatus,
+)
+_type_to_id = {cls: i for i, cls in enumerate(_MESSAGE_TYPES)}
+_id_to_type = dict(enumerate(_MESSAGE_TYPES))
+
+# Register the protocol's own dataclasses and enums.
+register_dataclass(Match)
+register_dataclass(_messages.FlowStatsEntry)
+register_dataclass(_messages.PortStatsEntry)
+# Messages themselves are registered as generic dataclasses too, so
+# they can ride inside RPC frame payloads (see repro.core.appvisor.rpc).
+for _msg_cls in _MESSAGE_TYPES:
+    register_dataclass(_msg_cls)
+for _action_cls in (
+    _actions.Output,
+    _actions.Flood,
+    _actions.ToController,
+    _actions.Drop,
+    _actions.Enqueue,
+    _actions.SetEthSrc,
+    _actions.SetEthDst,
+    _actions.SetIpSrc,
+    _actions.SetIpDst,
+):
+    register_dataclass(_action_cls)
+for _enum_cls in (
+    _messages.FlowModCommand,
+    _messages.FlowRemovedReason,
+    _messages.PacketInReason,
+    _messages.PortStatusReason,
+):
+    register_enum(_enum_cls)
+
+
+def encode_message(msg: _messages.Message) -> bytes:
+    """Serialise ``msg`` to bytes (header + typed body)."""
+    cls = type(msg)
+    if cls not in _type_to_id:
+        raise SerializationError(f"unregistered message type: {cls.__name__}")
+    w = _Writer()
+    flds = [f for f in dataclasses.fields(msg) if f.name != "xid"]
+    w.u8(len(flds))
+    for f in flds:
+        w.string(f.name)
+        _write_value(w, getattr(msg, f.name))
+    body = w.getvalue()
+    return _HEADER.pack(_type_to_id[cls], msg.xid & 0xFFFFFFFF, len(body)) + body
+
+
+def decode_message(data: bytes) -> _messages.Message:
+    """Parse one message from ``data`` (must contain exactly one frame)."""
+    if len(data) < _HEADER.size:
+        raise SerializationError("buffer shorter than header")
+    type_id, xid, body_len = _HEADER.unpack_from(data)
+    body = data[_HEADER.size : _HEADER.size + body_len]
+    if len(body) != body_len:
+        raise SerializationError("truncated body")
+    cls = _id_to_type.get(type_id)
+    if cls is None:
+        raise SerializationError(f"unknown message type id: {type_id}")
+    r = _Reader(body)
+    values = {}
+    for _ in range(r.u8()):
+        fname = r.string()
+        values[fname] = _read_value(r)
+    msg = cls(**values)
+    msg.xid = xid
+    return msg
+
+
+def encoded_size(msg: _messages.Message) -> int:
+    """Wire size of ``msg`` in bytes (used by the channel latency model)."""
+    return len(encode_message(msg))
+
+
+def encode_value(value) -> bytes:
+    """Serialise any supported value (the RPC payload codec)."""
+    w = _Writer()
+    _write_value(w, value)
+    return w.getvalue()
+
+
+def decode_value(data: bytes):
+    """Parse a value produced by :func:`encode_value`."""
+    return _read_value(_Reader(data))

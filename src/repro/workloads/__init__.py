@@ -1,0 +1,11 @@
+"""Workload generation: traffic and failure schedules."""
+
+from repro.workloads.failure import FailureEvent, FailureSchedule
+from repro.workloads.traffic import TrafficWorkload, inject_marker_packet
+
+__all__ = [
+    "FailureEvent",
+    "FailureSchedule",
+    "TrafficWorkload",
+    "inject_marker_packet",
+]

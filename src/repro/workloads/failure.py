@@ -1,0 +1,128 @@
+"""Failure schedules: scripted fault timelines.
+
+A :class:`FailureSchedule` is a declarative list of timed failure
+events -- link/switch failures and bug-triggering marker packets --
+applied to a running network.  Experiments build a schedule once and
+replay it identically against both runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.workloads.traffic import inject_marker_packet
+
+VALID_KINDS = frozenset({
+    "link_down", "link_up", "switch_down", "switch_up", "marker_packet",
+})
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled fault."""
+
+    time: float
+    kind: str
+    # link/switch events:
+    dpid_a: Optional[int] = None
+    dpid_b: Optional[int] = None
+    # marker packets:
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    marker: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in VALID_KINDS:
+            raise ValueError(f"unknown failure kind {self.kind!r}")
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered fault timeline."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def link_down(self, time: float, dpid_a: int, dpid_b: int) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "link_down",
+                                        dpid_a=dpid_a, dpid_b=dpid_b))
+        return self
+
+    def link_up(self, time: float, dpid_a: int, dpid_b: int) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "link_up",
+                                        dpid_a=dpid_a, dpid_b=dpid_b))
+        return self
+
+    def switch_down(self, time: float, dpid: int) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "switch_down", dpid_a=dpid))
+        return self
+
+    def switch_up(self, time: float, dpid: int) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "switch_up", dpid_a=dpid))
+        return self
+
+    def marker_packet(self, time: float, src: str, dst: str,
+                      marker: str) -> "FailureSchedule":
+        """Schedule a crafted packet that trips a payload-marker bug."""
+        self.events.append(FailureEvent(time, "marker_packet",
+                                        src=src, dst=dst, marker=marker))
+        return self
+
+    def apply(self, net) -> int:
+        """Schedule every event on the network's simulator clock.
+
+        Times are absolute simulation times; events already in the
+        past fire immediately.  Returns the number scheduled.
+        """
+        for event in self.events:
+            net.sim.schedule_at(event.time, self._fire, net, event)
+        return len(self.events)
+
+    @classmethod
+    def chaos(cls, net, duration: float, rate: float = 1.0,
+              markers: Optional[List[str]] = None,
+              seed: int = 0) -> "FailureSchedule":
+        """A seeded random fault storm over ``duration`` seconds.
+
+        Mixes link flaps, switch flaps, and (if ``markers`` are given)
+        bug-trigger packets, at roughly ``rate`` events per second.
+        Links/switches are always brought back up before the end so the
+        storm tests *transient* fault handling, not permanent loss.
+        """
+        import random
+
+        rng = random.Random(seed)
+        schedule = cls()
+        host_names = [spec.name for spec in net.topology.hosts]
+        switch_links = list(net.topology.switch_links)
+        dpids = list(net.topology.switches)
+        t = 0.5
+        while t < duration - 1.0:
+            kind = rng.choice(["link", "switch", "marker"]
+                              if markers else ["link", "switch"])
+            if kind == "link" and switch_links:
+                a, b = rng.choice(switch_links)
+                recover = min(t + rng.uniform(0.5, 1.5), duration - 0.1)
+                schedule.link_down(t, a, b).link_up(recover, a, b)
+            elif kind == "switch" and len(dpids) > 2:
+                dpid = rng.choice(dpids)
+                recover = min(t + rng.uniform(0.5, 1.5), duration - 0.1)
+                schedule.switch_down(t, dpid).switch_up(recover, dpid)
+            elif kind == "marker" and markers and len(host_names) >= 2:
+                src, dst = rng.sample(host_names, 2)
+                schedule.marker_packet(t, src, dst, rng.choice(markers))
+            t += rng.expovariate(rate)
+        return schedule
+
+    @staticmethod
+    def _fire(net, event: FailureEvent) -> None:
+        if event.kind == "link_down":
+            net.link_down(event.dpid_a, event.dpid_b)
+        elif event.kind == "link_up":
+            net.link_up(event.dpid_a, event.dpid_b)
+        elif event.kind == "switch_down":
+            net.switch_down(event.dpid_a)
+        elif event.kind == "switch_up":
+            net.switch_up(event.dpid_a)
+        elif event.kind == "marker_packet":
+            inject_marker_packet(net, event.src, event.dst, event.marker)

@@ -1,0 +1,87 @@
+"""Traffic generation.
+
+Deterministic packet workloads over a running network: fixed-rate
+host-pair traffic (round-robin or seeded-random pair selection) and
+single crafted packets carrying a payload marker -- the mechanism the
+fault experiments use to trigger a specific bug from the corpus at a
+chosen moment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.network.packet import tcp_packet, udp_packet
+
+
+class TrafficWorkload:
+    """Inject packets between host pairs at a fixed rate."""
+
+    def __init__(self, net, rate: float = 100.0,
+                 pairs: Optional[List[Tuple[str, str]]] = None,
+                 kind: str = "tcp", packet_size: int = 512,
+                 selection: str = "round-robin", seed: int = 0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if selection not in ("round-robin", "random"):
+            raise ValueError("selection must be 'round-robin' or 'random'")
+        self.net = net
+        self.rate = rate
+        self.kind = kind
+        self.packet_size = packet_size
+        self.selection = selection
+        self.rng = random.Random(seed)
+        names = [spec.name for spec in net.topology.hosts]
+        self.pairs = pairs or [
+            (a, b) for a in names for b in names if a != b
+        ]
+        if not self.pairs:
+            raise ValueError("no host pairs to generate traffic between")
+        self.sent = 0
+        self._next_pair = 0
+        self._port_seq = 10000
+
+    def _pick_pair(self) -> Tuple[str, str]:
+        if self.selection == "random":
+            return self.rng.choice(self.pairs)
+        pair = self.pairs[self._next_pair % len(self.pairs)]
+        self._next_pair += 1
+        return pair
+
+    def inject_one(self) -> None:
+        """Send one packet between the next pair."""
+        src_name, dst_name = self._pick_pair()
+        src = self.net.hosts[src_name]
+        dst = self.net.hosts[dst_name]
+        self._port_seq += 1
+        builder = tcp_packet if self.kind == "tcp" else udp_packet
+        src.send(builder(
+            src.mac, dst.mac, src.ip, dst.ip,
+            src_port=self._port_seq, dst_port=80,
+            size=self.packet_size,
+        ))
+        self.sent += 1
+
+    def start(self, duration: float) -> int:
+        """Schedule ``duration * rate`` injections; returns the count.
+
+        Injections are spread evenly, starting one interval from now;
+        the caller still has to run the simulator.
+        """
+        count = int(duration * self.rate)
+        interval = 1.0 / self.rate
+        for i in range(count):
+            self.net.sim.schedule((i + 1) * interval, self.inject_one)
+        return count
+
+
+def inject_marker_packet(net, src_name: str, dst_name: str,
+                         marker: str, size: int = 64) -> None:
+    """Send one TCP packet whose payload carries a bug-trigger marker."""
+    src = net.hosts[src_name]
+    dst = net.hosts[dst_name]
+    packet = tcp_packet(src.mac, dst.mac, src.ip, dst.ip,
+                        src_port=31337, dst_port=80, size=size,
+                        payload=marker)
+    src.send(packet)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import LearningSwitch
+from repro.controller.monolithic import MonolithicRuntime
+from repro.core.runtime import LegoSDNRuntime
+from repro.network.net import Network
+from repro.network.simulator import Simulator
+from repro.network.topology import linear_topology, ring_topology
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+@pytest.fixture
+def linear_net():
+    """A started 3-switch linear network with no apps."""
+    net = Network(linear_topology(3, 1), seed=0)
+    return net
+
+
+@pytest.fixture
+def ring_net():
+    """A started 4-switch ring network with no apps."""
+    net = Network(ring_topology(4, 1), seed=0)
+    return net
+
+
+@pytest.fixture
+def mono_learning_net():
+    """Monolithic runtime + learning switch on a 3-switch line, converged."""
+    net = Network(linear_topology(3, 1), seed=0)
+    runtime = MonolithicRuntime(net.controller)
+    runtime.launch_app(LearningSwitch)
+    net.start()
+    net.run_for(1.5)
+    return net, runtime
+
+
+@pytest.fixture
+def lego_learning_net():
+    """LegoSDN runtime + learning switch on a 3-switch line, converged."""
+    net = Network(linear_topology(3, 1), seed=0)
+    runtime = LegoSDNRuntime(net.controller)
+    runtime.launch_app(LearningSwitch())
+    net.start()
+    net.run_for(1.5)
+    return net, runtime

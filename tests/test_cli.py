@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _build_topology, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.topology == "linear"
+        assert args.size == 3
+
+
+class TestTopologyBuilder:
+    def test_all_names_build(self):
+        for name in ("linear", "ring", "tree", "mesh", "fattree"):
+            topo = _build_topology(name, 4)
+            topo.validate()
+
+    def test_ring_minimum_enforced(self):
+        assert len(_build_topology("ring", 1).switches) == 3
+
+    def test_fattree_evens_odd_k(self):
+        topo = _build_topology("fattree", 3)
+        topo.validate()  # k was bumped to 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            _build_topology("torus", 4)
+
+
+class TestCommands:
+    def test_show_topology(self, capsys):
+        assert main(["show-topology", "--topology", "ring", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 switches" in out
+        assert "s1 -- s2" in out
+
+    def test_bug_study(self, capsys):
+        assert main(["bug-study", "--count", "25", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "catastrophic: 4/25" in out
+
+    def test_demo_runs_to_recovery(self, capsys):
+        assert main(["demo", "--size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "app crashes: 1, recoveries: 1, controller up: True" in out
+        assert "Problem Ticket" in out
+
+    def test_check_policy_valid(self, tmp_path, capsys):
+        policy = tmp_path / "policy.txt"
+        policy.write_text("app=* event=* policy=equivalence\n")
+        assert main(["check-policy", str(policy)]) == 0
+        assert "ok: 1 rule(s)" in capsys.readouterr().out
+
+    def test_check_policy_invalid(self, tmp_path, capsys):
+        policy = tmp_path / "policy.txt"
+        policy.write_text("app=* event=* policy=yolo\n")
+        assert main(["check-policy", str(policy)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_check_policy_missing_file(self, capsys):
+        assert main(["check-policy", "/nonexistent/policy"]) == 1
+
+    def test_drill_legosdn(self, capsys):
+        assert main(["drill", "--size", "2", "--duration", "3",
+                     "--rate", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "controller up:  True" in out
+
+    def test_drill_monolithic(self, capsys):
+        assert main(["drill", "--size", "2", "--duration", "3",
+                     "--rate", "20", "--runtime", "monolithic"]) == 0
+        out = capsys.readouterr().out
+        assert "controller crashes: 0" in out

@@ -1,0 +1,132 @@
+"""Tests for §5 concurrency lanes.
+
+"SDN-Apps, being event-driven, can handle multiple events in parallel
+if they [arrive] from multiple switches.  Fortunately, these events
+are often handled by different threads and thus we can pin-point which
+event causes the thread to crash."
+
+With ``parallel_lanes=True``, the proxy keeps one in-flight event per
+originating switch: per-lane FIFO is preserved, cross-lane pipelining
+overlaps the RPC/checkpoint latency, and a crash is attributed to the
+exact in-flight event while other lanes' events are rolled back and
+re-delivered.
+"""
+
+import pytest
+
+from repro.apps import FlowMonitor, Hub, LearningSwitch
+from repro.core.appvisor.proxy import AppStatus
+from repro.core.runtime import LegoSDNRuntime
+from repro.faults import crash_on
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+from repro.workloads.traffic import inject_marker_packet
+
+
+def build(apps, parallel, switches=4, **kwargs):
+    net = Network(linear_topology(switches, 1), seed=0)
+    runtime = LegoSDNRuntime(net.controller, parallel_lanes=parallel,
+                             **kwargs)
+    for app in apps:
+        runtime.launch_app(app)
+    net.start()
+    net.run_for(1.0)
+    return net, runtime
+
+
+def burst_all_switches(net, tag):
+    """One fresh flow entering at every switch simultaneously."""
+    names = sorted(net.hosts)
+    for i, src in enumerate(names):
+        dst = names[(i + 1) % len(names)]
+        inject_marker_packet(net, src, dst, f"{tag}-{src}")
+
+
+class TestThroughput:
+    def _drain_time(self, parallel):
+        net, runtime = build([Hub()], parallel)
+        start = net.now
+        burst_all_switches(net, "burst")
+        record = runtime.record("hub")
+        # run until the app has completed one event per switch
+        while net.now - start < 5.0 and record.events_completed < 4:
+            net.run_for(0.01)
+        return net.now - start, record.events_completed
+
+    def test_lanes_pipeline_multi_switch_bursts(self):
+        serial_time, serial_done = self._drain_time(parallel=False)
+        lane_time, lane_done = self._drain_time(parallel=True)
+        assert serial_done >= 4 and lane_done >= 4
+        # Four checkpoints+round-trips overlap across lanes: a real
+        # speedup, not a rounding artifact.
+        assert lane_time < serial_time * 0.6
+
+    def test_per_lane_order_preserved(self):
+        class Recorder(FlowMonitor):
+            name = "rec"
+
+            def __init__(self):
+                super().__init__(name="rec")
+                self.order = []
+
+            def on_packet_in(self, event):
+                self.order.append((event.dpid, event.packet.payload))
+                return super().on_packet_in(event)
+
+        net, runtime = build([Recorder()], parallel=True,
+                             checkpoint_interval=1000)
+        inject_marker_packet(net, "h1", "h2", "first")
+        inject_marker_packet(net, "h1", "h2", "second")
+        net.run_for(1.5)
+        app = runtime.app("rec")
+        same_switch = [p for dpid, p in app.order if dpid == 1]
+        assert same_switch.index("first") < same_switch.index("second")
+
+
+class TestCrashAttribution:
+    def test_offending_lane_identified_others_redelivered(self):
+        """A crash on one switch's event must not lose the events that
+        were in flight from other switches."""
+        app = crash_on(FlowMonitor(name="app"), payload_marker="BOOM")
+        net, runtime = build([app], parallel=True)
+        # simultaneous burst: one poisoned, three innocent
+        names = sorted(net.hosts)
+        inject_marker_packet(net, names[0], names[1], "BOOM")
+        for src, dst in ((names[1], names[2]), (names[2], names[3]),
+                         (names[3], names[0])):
+            inject_marker_packet(net, src, dst, f"innocent-{src}")
+        net.run_for(3.0)
+        record = runtime.record("app")
+        assert record.crash_count >= 1
+        assert record.status is AppStatus.UP
+        # Every innocent event was eventually observed by the app.
+        observed = {p for (s, d), n in
+                    runtime.app("app").inner.pair_packets.items()
+                    for p in [n]}
+        pairs = runtime.app("app").inner.pair_packets
+        # the three innocent PacketIns each hit at least their ingress
+        # switch; after recovery the monitor's tallies reflect them
+        assert sum(pairs.values()) >= 3
+        ticket = runtime.tickets.for_app("app")[0]
+        assert "BOOM" in ticket.offending_event
+
+    @staticmethod
+    def _max_concurrent_inflights(net, runtime, name, window=0.05):
+        record = runtime.record(name)
+        peak = len(record.inflights)
+        start = net.now
+        while net.now - start < window:
+            net.run_for(0.0005)
+            peak = max(peak, len(record.inflights))
+        return peak
+
+    def test_serial_mode_unchanged(self):
+        """The default path still enforces one in-flight per app."""
+        net, runtime = build([Hub()], parallel=False)
+        burst_all_switches(net, "x")
+        assert self._max_concurrent_inflights(net, runtime, "hub") <= 1
+
+    def test_parallel_mode_multiple_inflight(self):
+        net, runtime = build([Hub()], parallel=True)
+        burst_all_switches(net, "x")
+        assert self._max_concurrent_inflights(net, runtime, "hub") >= 2

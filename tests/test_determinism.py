@@ -1,0 +1,89 @@
+"""Reproducibility: identical seeds must give identical runs.
+
+The benchmark harness's numbers are only trustworthy if the whole
+stack -- simulator, channels, apps, recovery -- is deterministic.
+These tests run full scenarios twice and require bit-identical
+observable outcomes.
+"""
+
+from repro.apps import FlowMonitor, LearningSwitch
+from repro.controller.monolithic import MonolithicRuntime
+from repro.core.runtime import LegoSDNRuntime
+from repro.faults import crash_on
+from repro.network.net import Network
+from repro.network.topology import random_topology, ring_topology
+from repro.workloads.traffic import TrafficWorkload, inject_marker_packet
+
+
+def lego_run(seed):
+    net = Network(ring_topology(4, 1), seed=seed)
+    runtime = LegoSDNRuntime(net.controller)
+    runtime.launch_app(LearningSwitch())
+    runtime.launch_app(crash_on(FlowMonitor(name="frag"),
+                                payload_marker="BOOM"))
+    net.start()
+    net.run_for(1.0)
+    TrafficWorkload(net, rate=40, seed=seed,
+                    selection="random").start(1.0)
+    inject_marker_packet(net, "h1", "h3", "BOOM")
+    net.run_for(3.0)
+    return {
+        "events": net.sim.events_processed,
+        "msgs_in": net.controller.messages_received,
+        "msgs_out": net.controller.messages_sent,
+        "stats": runtime.stats(),
+        "tables": tuple(
+            (dpid, sw.flow_table.fingerprint(include_counters=True))
+            for dpid, sw in sorted(net.switches.items())
+        ),
+        "tickets": len(runtime.tickets),
+        "monitor": sorted(
+            runtime.app("frag").inner.pair_packets.items()),
+    }
+
+
+def mono_run(seed):
+    net = Network(ring_topology(4, 1), seed=seed)
+    runtime = MonolithicRuntime(net.controller, auto_restart=True)
+    runtime.launch_app(LearningSwitch)
+    net.start()
+    net.run_for(1.0)
+    TrafficWorkload(net, rate=40, seed=seed).start(1.0)
+    net.run_for(3.0)
+    return {
+        "events": net.sim.events_processed,
+        "msgs": (net.controller.messages_received,
+                 net.controller.messages_sent),
+        "tables": tuple(
+            (dpid, sw.flow_table.fingerprint(include_counters=True))
+            for dpid, sw in sorted(net.switches.items())
+        ),
+    }
+
+
+class TestDeterminism:
+    def test_legosdn_run_is_bit_reproducible(self):
+        assert lego_run(7) == lego_run(7)
+
+    def test_monolithic_run_is_bit_reproducible(self):
+        assert mono_run(7) == mono_run(7)
+
+    def test_different_seeds_diverge(self):
+        """The seed genuinely feeds the run (traffic selection etc.)."""
+        a = lego_run(1)
+        b = lego_run(2)
+        # deterministic parts may coincide, but the monitor's observed
+        # traffic mix depends on the seeded workload
+        assert a != b or a["monitor"] != b["monitor"]
+
+    def test_random_topology_network_reproducible(self):
+        def run(seed):
+            net = Network(random_topology(6, 0.3, seed=seed), seed=seed)
+            runtime = MonolithicRuntime(net.controller)
+            runtime.launch_app(LearningSwitch)
+            net.start()
+            net.run_for(2.0)
+            reach = net.reachability(wait=1.0)
+            return reach, net.sim.events_processed
+
+        assert run(11) == run(11)

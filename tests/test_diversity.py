@@ -1,0 +1,140 @@
+"""Tests for §3.4 N-version execution and §5 hot-standby clones."""
+
+import pytest
+
+from repro.apps import LearningSwitch
+from repro.controller.monolithic import MonolithicRuntime
+from repro.core.diversity import HotStandbyApp, NVersionApp
+from repro.core.runtime import LegoSDNRuntime
+from repro.faults import crash_on, Bug, BugKind, FaultyApp
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+from repro.workloads.traffic import inject_marker_packet
+
+
+def build(app, switches=2):
+    net = Network(linear_topology(switches, 1), seed=0)
+    runtime = LegoSDNRuntime(net.controller)
+    runtime.launch_app(app)
+    net.start()
+    net.run_for(1.0)
+    return net, runtime
+
+
+class TestNVersion:
+    def test_needs_two_versions(self):
+        with pytest.raises(ValueError):
+            NVersionApp([LearningSwitch()])
+
+    def test_agreeing_versions_serve_traffic(self):
+        app = NVersionApp([LearningSwitch(), LearningSwitch(),
+                           LearningSwitch()])
+        net, runtime = build(app)
+        assert net.reachability() == 1.0
+        assert app.votes_taken > 0
+        assert app.disagreements == 0
+
+    def test_crashed_minority_version_is_masked(self):
+        buggy = crash_on(LearningSwitch(), payload_marker="BOOM")
+        app = NVersionApp([LearningSwitch(), buggy, LearningSwitch()])
+        net, runtime = build(app)
+        inject_marker_packet(net, "h1", "h2", "BOOM")
+        net.run_for(1.5)
+        # the wrapper app never crashed; the version did
+        assert runtime.stats()[app.name]["crashes"] == 0
+        assert sum(app.version_crashes.values()) >= 1
+        assert net.reachability(wait=1.0) == 1.0
+
+    def test_divergent_minority_outvoted(self):
+        from repro.apps import Hub
+
+        # A hub floods instead of installing rules: its ballot differs.
+        app = NVersionApp([LearningSwitch(), LearningSwitch(), Hub()],
+                          name="mixed")
+        net, runtime = build(app)
+        net.ping("h1", "h2")
+        net.run_for(0.5)
+        assert app.disagreements > 0
+        # majority (learning switch) behaviour won: flows installed
+        assert net.total_flow_entries() > 0
+
+    def test_no_quorum_emits_nothing(self):
+        from repro.apps import Hub, Flooder
+
+        app = NVersionApp([LearningSwitch(), Hub()], quorum=2, name="split")
+        emitted = []
+
+        class CaptureAPI:
+            def emit(self, dpid, msg):
+                emitted.append(msg)
+
+            def log(self, text):
+                pass
+
+            def topology(self):
+                from repro.controller.api import TopoView
+
+                return TopoView()
+
+            def host_location(self, mac):
+                return None
+
+        from repro.openflow.messages import PacketIn
+        from repro.network.packet import tcp_packet
+
+        app.startup(CaptureAPI())
+        app.handle(PacketIn(dpid=1, in_port=1,
+                            packet=tcp_packet("a", "b", "1", "2")))
+        # LS floods (PacketOut) and Hub floods (PacketOut) -- both flood
+        # unknown dst, so they may agree; craft a known-dst case instead:
+        emitted.clear()
+        # teach only the learning switch
+        app.versions[0].mac_tables[1] = {"b": 2}
+        app.handle(PacketIn(dpid=1, in_port=1,
+                            packet=tcp_packet("a", "b", "1", "2")))
+        # versions disagree (install+forward vs flood): quorum 2 unreachable
+        assert emitted == []
+        assert app.disagreements >= 1
+
+    def test_state_roundtrip(self):
+        app = NVersionApp([LearningSwitch(), LearningSwitch()])
+        state = app.get_state()
+        app.votes_taken = 99
+        app.set_state(state)
+        assert app.votes_taken == 0
+
+
+class TestHotStandby:
+    def test_primary_output_used(self):
+        app = HotStandbyApp(LearningSwitch(), LearningSwitch())
+        net, runtime = build(app)
+        assert net.reachability() == 1.0
+        assert app.switch_overs == 0
+
+    def test_switch_over_on_primary_crash(self):
+        """§5: non-deterministic bug -- the clone survives the event."""
+        nondet_bug = Bug("nd", BugKind.CRASH, payload_marker="MAYBE",
+                         deterministic=False, probability=1.0)
+        primary = FaultyApp(LearningSwitch(), [nondet_bug], seed=1)
+        clone = LearningSwitch()
+        app = HotStandbyApp(primary, clone, name="standby")
+        net, runtime = build(app)
+        inject_marker_packet(net, "h1", "h2", "MAYBE")
+        net.run_for(1.5)
+        assert app.switch_overs >= 1
+        assert not app.primary_dead  # clone was promoted
+        assert runtime.stats()["standby"]["crashes"] == 0
+        assert net.reachability(wait=1.0) == 1.0
+
+    def test_subscriptions_union(self):
+        from repro.apps import Flooder
+
+        app = HotStandbyApp(LearningSwitch(), Flooder())
+        assert set(app.subscriptions) >= {"PacketIn", "SwitchJoin"}
+
+    def test_state_roundtrip(self):
+        app = HotStandbyApp(LearningSwitch(), LearningSwitch())
+        state = app.get_state()
+        app.switch_overs = 5
+        app.set_state(state)
+        assert app.switch_overs == 0

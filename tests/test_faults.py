@@ -1,0 +1,199 @@
+"""Tests for the bug corpus and fault injector."""
+
+import random
+
+import pytest
+
+from repro.apps import LearningSwitch
+from repro.faults import (
+    AppHang,
+    Bug,
+    BugKind,
+    CATASTROPHIC_KINDS,
+    FaultyApp,
+    InjectedBugError,
+    PartialPolicyApp,
+    crash_on,
+    make_bug_corpus,
+)
+from repro.network.packet import tcp_packet
+from repro.openflow.messages import PacketIn
+
+
+def pktin(payload="", dpid=1):
+    return PacketIn(dpid=dpid, in_port=1,
+                    packet=tcp_packet("a", "b", "1.1.1.1", "2.2.2.2",
+                                      payload=payload))
+
+
+class TestBugTrigger:
+    def test_event_type_filter(self):
+        bug = Bug("b", BugKind.CRASH, event_type="PortStatus")
+        assert not bug.matches(pktin(), 1)
+
+    def test_dpid_filter(self):
+        bug = Bug("b", BugKind.CRASH, dpid=5)
+        assert bug.matches(pktin(dpid=5), 1)
+        assert not bug.matches(pktin(dpid=6), 1)
+
+    def test_payload_marker(self):
+        bug = Bug("b", BugKind.CRASH, payload_marker="XX")
+        assert bug.matches(pktin("contains XX here"), 1)
+        assert not bug.matches(pktin("nope"), 1)
+
+    def test_after_n_events(self):
+        bug = Bug("b", BugKind.CRASH, after_n_events=3)
+        assert not bug.matches(pktin(), 2)
+        assert bug.matches(pktin(), 3)
+
+    def test_deterministic_fires_every_match(self):
+        bug = Bug("b", BugKind.CRASH, deterministic=True)
+        rng = random.Random(0)
+        assert all(bug.fires(pktin(), 1, rng) for _ in range(10))
+
+    def test_nondeterministic_fires_probabilistically(self):
+        bug = Bug("b", BugKind.CRASH, deterministic=False, probability=0.5)
+        rng = random.Random(0)
+        fires = [bug.fires(pktin(), 1, rng) for _ in range(200)]
+        assert 0 < sum(fires) < 200
+
+
+class TestCorpus:
+    def test_catastrophic_fraction(self):
+        corpus = make_bug_corpus(n=100, catastrophic_fraction=0.16)
+        catastrophic = [b for b in corpus if b.is_catastrophic()]
+        assert len(catastrophic) == 16
+
+    def test_mostly_deterministic(self):
+        corpus = make_bug_corpus(n=200, deterministic_fraction=0.9, seed=1)
+        det = sum(1 for b in corpus if b.deterministic)
+        assert det / len(corpus) > 0.8
+
+    def test_unique_markers(self):
+        corpus = make_bug_corpus(n=50)
+        assert len({b.payload_marker for b in corpus}) == 50
+
+    def test_deterministic_for_seed(self):
+        a = make_bug_corpus(n=30, seed=5)
+        b = make_bug_corpus(n=30, seed=5)
+        assert [(x.bug_id, x.kind, x.deterministic) for x in a] == \
+               [(y.bug_id, y.kind, y.deterministic) for y in b]
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_bug_corpus(catastrophic_fraction=1.5)
+
+    def test_catastrophic_kinds_constant(self):
+        assert BugKind.CRASH in CATASTROPHIC_KINDS
+        assert BugKind.BENIGN not in CATASTROPHIC_KINDS
+
+
+class TestFaultyApp:
+    def test_crash_bug_raises(self):
+        app = crash_on(LearningSwitch(), payload_marker="BOOM")
+        with pytest.raises(InjectedBugError):
+            app.handle(pktin("BOOM"))
+
+    def test_hang_raises_app_hang(self):
+        app = crash_on(LearningSwitch(), payload_marker="H",
+                       kind=BugKind.HANG)
+        with pytest.raises(AppHang):
+            app.handle(pktin("H"))
+
+    def test_clean_events_pass_through(self):
+        inner = LearningSwitch()
+        app = crash_on(inner, payload_marker="BOOM")
+
+        class NullAPI:
+            def emit(self, dpid, msg):
+                pass
+
+            def log(self, text):
+                pass
+
+        app.startup(NullAPI())
+        app.handle(pktin("fine"))
+        assert inner.events_handled == 1
+        assert app.fired_log == []
+
+    def test_state_corruption_crashes_next_event(self):
+        bug = Bug("b", BugKind.STATE_CORRUPTION, payload_marker="CORRUPT")
+        app = FaultyApp(LearningSwitch(), [bug])
+
+        class NullAPI:
+            def emit(self, dpid, msg):
+                pass
+
+        app.startup(NullAPI())
+        app.handle(pktin("CORRUPT"))  # no crash yet
+        assert app.corrupted
+        with pytest.raises(InjectedBugError):
+            app.handle(pktin("anything"))
+
+    def test_state_roundtrip_restores_rng_and_counts(self):
+        app = crash_on(LearningSwitch(), payload_marker="BOOM", seed=3)
+
+        class NullAPI:
+            def emit(self, dpid, msg):
+                pass
+
+        app.startup(NullAPI())
+        app.handle(pktin("a"))
+        state = app.get_state()
+        app.handle(pktin("b"))
+        app.set_state(state)
+        assert app.event_count == 1
+        assert app.inner.events_handled == 1
+
+    def test_deterministic_replay_after_restore_crashes_again(self):
+        """The paper's core assumption: restore + replay = same crash."""
+        app = crash_on(LearningSwitch(), payload_marker="BOOM")
+
+        class NullAPI:
+            def emit(self, dpid, msg):
+                pass
+
+        app.startup(NullAPI())
+        state = app.get_state()
+        with pytest.raises(InjectedBugError):
+            app.handle(pktin("BOOM"))
+        app.set_state(state)
+        with pytest.raises(InjectedBugError):
+            app.handle(pktin("BOOM"))
+
+    def test_subscriptions_mirror_inner(self):
+        app = crash_on(LearningSwitch())
+        assert app.subscriptions == tuple(LearningSwitch.subscriptions)
+
+
+class TestPartialPolicyApp:
+    def test_emits_then_crashes(self):
+        app = PartialPolicyApp(policy_dpids=(1, 2, 3), crash_after=2)
+        emitted = []
+
+        class CaptureAPI:
+            def emit(self, dpid, msg):
+                emitted.append((dpid, msg))
+
+        app.startup(CaptureAPI())
+        with pytest.raises(InjectedBugError):
+            app.handle(pktin("POLICY"))
+        assert len(emitted) == 2
+
+    def test_completes_without_crash_after(self):
+        app = PartialPolicyApp(policy_dpids=(1, 2), crash_after=None)
+        emitted = []
+
+        class CaptureAPI:
+            def emit(self, dpid, msg):
+                emitted.append(dpid)
+
+        app.startup(CaptureAPI())
+        app.handle(pktin("POLICY"))
+        assert emitted == [1, 2]
+        assert app.policies_installed == 1
+
+    def test_ignores_unmarked_packets(self):
+        app = PartialPolicyApp(policy_dpids=(1,), crash_after=0)
+        app.startup(None)
+        app.handle(pktin("ordinary"))  # no crash

@@ -1,0 +1,161 @@
+"""Tests for the VirtualIPGateway (NAT / header-rewrite) app."""
+
+import pytest
+
+from repro.apps import LearningSwitch, VirtualIPGateway
+from repro.controller.monolithic import MonolithicRuntime
+from repro.core.runtime import LegoSDNRuntime
+from repro.network.net import Network
+from repro.network.packet import tcp_packet
+from repro.network.topology import linear_topology
+
+VIP = "10.0.99.1"
+VMAC = "0a:0a:0a:0a:0a:0a"
+
+
+def build(runtime_cls=MonolithicRuntime, backends=("h2", "h3")):
+    """h1 is the client; the listed hosts are echo backends."""
+    net = Network(linear_topology(3, 1), seed=0)
+    backend_macs = tuple(net.host(name).mac for name in backends)
+    gateway_factory = lambda: VirtualIPGateway(vip=VIP, vmac=VMAC,
+                                               backend_macs=backend_macs)
+    if runtime_cls is MonolithicRuntime:
+        runtime = MonolithicRuntime(net.controller)
+        runtime.launch_app(gateway_factory)
+        runtime.launch_app(LearningSwitch)
+    else:
+        runtime = LegoSDNRuntime(net.controller)
+        runtime.launch_app(gateway_factory())
+        runtime.launch_app(LearningSwitch())
+    for name in backends:
+        net.host(name).tcp_echo = True
+    net.start()
+    net.run_for(1.5)
+    # hosts must be learned before the gateway can steer flows
+    net.reachability(wait=1.0)
+    return net, runtime
+
+
+def send_to_vip(net, client_name, src_port, payload="req"):
+    client = net.host(client_name)
+    client.send(tcp_packet(client.mac, VMAC, client.ip, VIP,
+                           src_port=src_port, dst_port=80,
+                           payload=payload))
+
+
+def gateway_of(runtime):
+    app = runtime.app("gateway") if hasattr(runtime, "stubs") else \
+        runtime.app("gateway")
+    return app
+
+
+class TestNATPath:
+    def test_backend_receives_dnated_packet(self):
+        net, runtime = build()
+        send_to_vip(net, "h1", 5001, payload="hello-vip")
+        net.run_for(1.0)
+        deliveries = [
+            (name, p) for name in ("h2", "h3")
+            for _, p in net.host(name).received
+            if not p.is_lldp() and p.payload == "hello-vip"
+        ]
+        assert deliveries, "no backend got the flow"
+        name, packet = deliveries[0]
+        backend = net.host(name)
+        # the DNAT rewrote the L2/L3 destination to the real backend
+        assert packet.eth_dst == backend.mac
+        assert packet.ip_dst == backend.ip
+
+    def test_client_sees_reply_from_vip(self):
+        net, runtime = build()
+        send_to_vip(net, "h1", 5002, payload="ping-service")
+        net.run_for(1.5)
+        replies = [p for _, p in net.host("h1").received
+                   if not p.is_lldp() and p.payload == "echo:ping-service"]
+        assert replies, "no echoed reply reached the client"
+        # the SNAT hid the backend: the reply claims to be the VIP
+        assert replies[0].ip_src == VIP
+        assert replies[0].eth_src == VMAC
+
+    def test_flows_spread_across_backends(self):
+        net, runtime = build()
+        for port in range(6000, 6006):
+            send_to_vip(net, "h1", port)
+            net.run_for(0.4)
+        gateway = runtime.app("gateway")
+        share = gateway.backend_share()
+        assert len(share) == 2               # both backends used
+        assert gateway.flows_admitted >= 6
+
+    def test_flow_stickiness(self):
+        net, runtime = build()
+        send_to_vip(net, "h1", 7000)
+        net.run_for(0.5)
+        gateway = runtime.app("gateway")
+        first = dict(gateway.flow_assignments)
+        send_to_vip(net, "h1", 7000)  # same flow again
+        net.run_for(0.5)
+        assert gateway.flow_assignments == first
+
+    def test_non_service_traffic_ignored(self):
+        net, runtime = build()
+        gateway = runtime.app("gateway")
+        net.ping("h1", "h2")
+        assert gateway.flows_admitted == 0
+
+    def test_no_backends_known_fails_gracefully(self):
+        net = Network(linear_topology(2, 1), seed=0)
+        runtime = MonolithicRuntime(net.controller)
+        runtime.launch_app(lambda: VirtualIPGateway(
+            vip=VIP, vmac=VMAC, backend_macs=("de:ad:be:ef:00:01",)))
+        net.start()
+        net.run_for(1.0)
+        send_to_vip(net, "h1", 8000)
+        net.run_for(0.5)
+        gateway = runtime.app("gateway")
+        assert gateway.admission_failures >= 1
+        assert not net.controller.crashed
+
+
+class TestUnderLegoSDN:
+    def test_nat_works_through_the_sandbox(self):
+        net, runtime = build(runtime_cls=LegoSDNRuntime)
+        send_to_vip(net, "h1", 5050, payload="sandboxed")
+        net.run_for(2.0)
+        replies = [p for _, p in net.host("h1").received
+                   if not p.is_lldp() and p.payload == "echo:sandboxed"]
+        assert replies and replies[0].ip_src == VIP
+
+    def test_mid_admission_crash_leaves_no_half_nat(self):
+        """The two NAT rules are one transaction: a crash between them
+        must not leave a DNAT without its SNAT."""
+        from repro.faults import Bug, BugKind, FaultyApp
+
+        net = Network(linear_topology(3, 1), seed=0)
+        backend_macs = (net.host("h2").mac,)
+        bug = Bug("nat-crash", BugKind.CRASH, payload_marker="CRASHNAT",
+                  after_n_events=0)
+
+        class CrashyGateway(VirtualIPGateway):
+            def _install_nat_rules(self, event, backend):
+                self.api.emit(event.dpid, __import__(
+                    "repro.openflow.messages", fromlist=["FlowMod"]
+                ).FlowMod(match=__import__(
+                    "repro.openflow.match", fromlist=["Match"]
+                ).Match(ip_dst=VIP), priority=500))
+                raise RuntimeError("crashed between DNAT and SNAT")
+
+        runtime = LegoSDNRuntime(net.controller)
+        runtime.launch_app(CrashyGateway(vip=VIP, vmac=VMAC,
+                                         backend_macs=backend_macs))
+        net.host("h2").tcp_echo = True
+        net.start()
+        net.run_for(1.5)
+        net.reachability(wait=1.0)
+        rules_before = net.total_flow_entries()
+        send_to_vip(net, "h1", 5070)
+        net.run_for(2.0)
+        # rollback removed the orphan DNAT rule
+        assert net.total_flow_entries() <= rules_before
+        assert runtime.stats()["gateway"]["crashes"] >= 1
+        assert runtime.is_up

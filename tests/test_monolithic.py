@@ -1,0 +1,144 @@
+"""Tests for the monolithic baseline: fate-sharing and state loss."""
+
+import pytest
+
+from repro.apps import FlowMonitor, LearningSwitch
+from repro.controller.monolithic import MonolithicRuntime
+from repro.faults import PartialPolicyApp, crash_on
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+from repro.workloads.traffic import inject_marker_packet
+
+
+def build(auto_restart=False, restart_delay=0.5, apps=()):
+    net = Network(linear_topology(3, 1), seed=0)
+    runtime = MonolithicRuntime(net.controller, auto_restart=auto_restart,
+                                restart_delay=restart_delay)
+    for factory in apps:
+        runtime.launch_app(factory)
+    net.start()
+    net.run_for(1.0)
+    return net, runtime
+
+
+class TestHappyPath:
+    def test_apps_provide_connectivity(self):
+        net, runtime = build(apps=[LearningSwitch])
+        assert net.reachability() == 1.0
+        assert runtime.is_up
+
+    def test_duplicate_app_rejected(self):
+        net, runtime = build(apps=[LearningSwitch])
+        with pytest.raises(ValueError):
+            runtime.launch_app(LearningSwitch)
+
+    def test_api_services_reachable(self):
+        net, runtime = build(apps=[LearningSwitch])
+        app = runtime.app("learning_switch")
+        assert app.api.switches() == (1, 2, 3)
+        assert app.api.topology().shortest_path(1, 3) == [1, 2, 3]
+
+
+class TestFateSharing:
+    """Table 1 / §2.1: one app's crash takes down everything."""
+
+    def test_one_app_crash_kills_controller_and_all_apps(self):
+        net, runtime = build(apps=[
+            LearningSwitch,
+            FlowMonitor,
+            lambda: crash_on(LearningSwitch(name="buggy"),
+                             payload_marker="BOOM"),
+        ])
+        inject_marker_packet(net, "h1", "h3", "BOOM")
+        net.run_for(1.0)
+        assert not runtime.is_up
+        assert runtime.live_apps() == []
+        assert runtime.crash_count == 1
+        assert net.controller.crash_records[0].culprit == "buggy"
+
+    def test_healthy_apps_stop_processing_after_crash(self):
+        net, runtime = build(apps=[
+            FlowMonitor,
+            lambda: crash_on(LearningSwitch(name="buggy"),
+                             payload_marker="BOOM"),
+        ])
+        monitor = runtime.app("monitor")
+        inject_marker_packet(net, "h1", "h3", "BOOM")
+        net.run_for(0.5)
+        observed = monitor.total_observations()
+        # more traffic: nobody sees it
+        inject_marker_packet(net, "h2", "h3", "hello")
+        net.run_for(0.5)
+        assert monitor.total_observations() == observed
+
+    def test_no_new_flows_after_crash(self):
+        net, runtime = build(apps=[
+            lambda: crash_on(LearningSwitch(name="buggy"),
+                             payload_marker="BOOM"),
+        ])
+        inject_marker_packet(net, "h1", "h3", "BOOM")
+        net.run_for(0.5)
+        assert net.reachability() == 0.0
+
+    def test_orphan_rules_left_behind(self):
+        """No NetLog: a mid-policy crash leaves partial state installed."""
+        net, runtime = build(apps=[
+            lambda: PartialPolicyApp(policy_dpids=(1, 2, 3), crash_after=2),
+        ])
+        inject_marker_packet(net, "h1", "h3", "POLICY")
+        net.run_for(0.5)
+        assert net.total_flow_entries() == 2  # the orphans
+
+
+class TestRestart:
+    def test_auto_restart_recovers_controller(self):
+        net, runtime = build(auto_restart=True, apps=[
+            LearningSwitch,
+            lambda: crash_on(LearningSwitch(name="buggy"),
+                             payload_marker="BOOM"),
+        ])
+        inject_marker_packet(net, "h1", "h3", "BOOM")
+        net.run_for(2.0)
+        assert runtime.is_up
+        assert runtime.restart_count == 1
+
+    def test_restart_loses_all_app_state(self):
+        net, runtime = build(auto_restart=True, apps=[
+            FlowMonitor,
+            lambda: crash_on(LearningSwitch(name="buggy"),
+                             payload_marker="BOOM"),
+        ])
+        net.ping("h1", "h2")
+        monitor_before = runtime.app("monitor")
+        assert monitor_before.total_observations() > 0
+        inject_marker_packet(net, "h1", "h3", "BOOM")
+        net.run_for(2.0)
+        monitor_after = runtime.app("monitor")
+        assert monitor_after is not monitor_before
+        assert monitor_after.total_observations() == 0
+
+    def test_restart_reregisters_all_apps(self):
+        net, runtime = build(auto_restart=True, apps=[
+            LearningSwitch,
+            lambda: crash_on(LearningSwitch(name="buggy"),
+                             payload_marker="BOOM"),
+        ])
+        inject_marker_packet(net, "h1", "h3", "BOOM")
+        net.run_for(2.0)
+        assert set(runtime.live_apps()) == {"buggy", "learning_switch"}
+        # service works again after restart
+        net.run_for(1.0)
+        assert net.reachability() == 1.0
+
+    def test_deterministic_bug_crashes_again_after_restart(self):
+        """§1: replay-based recovery fails for deterministic bugs."""
+        net, runtime = build(auto_restart=True, apps=[
+            lambda: crash_on(LearningSwitch(name="buggy"),
+                             payload_marker="BOOM"),
+        ])
+        inject_marker_packet(net, "h1", "h3", "BOOM")
+        net.run_for(2.0)
+        assert runtime.crash_count == 1
+        inject_marker_packet(net, "h1", "h3", "BOOM")
+        net.run_for(2.0)
+        assert runtime.crash_count == 2  # same bug, same crash

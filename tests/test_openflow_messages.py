@@ -1,0 +1,62 @@
+"""Unit tests for message types and their metadata."""
+
+from repro.openflow.messages import (
+    BarrierRequest,
+    EchoRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    Hello,
+    Message,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+    next_xid,
+)
+
+
+def test_xids_are_unique_and_monotonic():
+    a, b, c = next_xid(), next_xid(), next_xid()
+    assert a < b < c
+
+
+def test_each_message_gets_fresh_xid():
+    assert Hello().xid != Hello().xid
+
+
+def test_explicit_xid_respected():
+    assert EchoRequest(payload=b"", xid=42).xid == 42
+
+
+def test_type_name():
+    assert Hello().type_name == "Hello"
+    assert FlowMod().type_name == "FlowMod"
+
+
+def test_only_flow_mod_alters_network_state():
+    assert FlowMod().alters_network_state()
+    for msg in (Hello(), PacketIn(), PacketOut(), PortStatus(),
+                BarrierRequest(), FlowRemoved()):
+        assert not msg.alters_network_state()
+
+
+def test_flow_mod_actions_normalised_to_tuple():
+    mod = FlowMod(actions=[])
+    assert mod.actions == ()
+    from repro.openflow.actions import Output
+
+    mod2 = FlowMod(actions=[Output(1)])
+    assert isinstance(mod2.actions, tuple)
+
+
+def test_flow_mod_defaults():
+    mod = FlowMod()
+    assert mod.command == FlowModCommand.ADD
+    assert mod.priority == 100
+    assert mod.idle_timeout == 0.0
+    assert not mod.send_flow_removed
+
+
+def test_packet_out_actions_normalised():
+    po = PacketOut(actions=[])
+    assert po.actions == ()

@@ -1,0 +1,59 @@
+"""Unit tests for the packet model."""
+
+from dataclasses import replace
+
+from repro.network.packet import (
+    BROADCAST,
+    ETH_TYPE_IP,
+    ETH_TYPE_LLDP,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    Packet,
+    icmp_packet,
+    tcp_packet,
+    udp_packet,
+)
+
+
+def test_packet_ids_unique():
+    assert Packet().pkt_id != Packet().pkt_id
+
+
+def test_broadcast_detection():
+    assert Packet(eth_dst=BROADCAST).is_broadcast()
+    assert not Packet(eth_dst="00:00:00:00:00:01").is_broadcast()
+
+
+def test_lldp_detection():
+    assert Packet(eth_type=ETH_TYPE_LLDP).is_lldp()
+    assert not Packet(eth_type=ETH_TYPE_IP).is_lldp()
+
+
+def test_reply_swaps_endpoints():
+    pkt = tcp_packet("macA", "macB", "1.1.1.1", "2.2.2.2",
+                     src_port=1111, dst_port=80)
+    rep = pkt.reply(payload="answer")
+    assert rep.eth_src == "macB" and rep.eth_dst == "macA"
+    assert rep.ip_src == "2.2.2.2" and rep.ip_dst == "1.1.1.1"
+    assert rep.tp_src == 80 and rep.tp_dst == 1111
+    assert rep.payload == "answer"
+    assert rep.pkt_id != pkt.pkt_id
+
+
+def test_constructors_set_protocols():
+    assert tcp_packet("a", "b", "1", "2").ip_proto == IPPROTO_TCP
+    assert udp_packet("a", "b", "1", "2").ip_proto == IPPROTO_UDP
+    assert icmp_packet("a", "b", "1", "2").ip_proto == IPPROTO_ICMP
+
+
+def test_immutability_via_replace():
+    pkt = Packet(ttl=32)
+    hopped = replace(pkt, ttl=31)
+    assert pkt.ttl == 32
+    assert hopped.ttl == 31
+    assert hopped.pkt_id == pkt.pkt_id
+
+
+def test_default_ttl_positive():
+    assert Packet().ttl > 0

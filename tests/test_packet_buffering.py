@@ -1,0 +1,144 @@
+"""Tests for OpenFlow packet buffering (buffer_id semantics)."""
+
+import pytest
+
+from repro.apps import Hub, LearningSwitch
+from repro.controller.monolithic import MonolithicRuntime
+from repro.core.runtime import LegoSDNRuntime
+from repro.network.net import Network
+from repro.network.packet import Packet, tcp_packet
+from repro.network.simulator import Simulator
+from repro.network.switch import Switch
+from repro.network.topology import linear_topology
+from repro.openflow.actions import Output
+from repro.openflow.messages import ErrorMsg, PacketIn, PacketOut
+from repro.workloads.traffic import inject_marker_packet
+
+
+class FakeChannel:
+    def __init__(self):
+        self.messages = []
+
+    def to_controller(self, msg):
+        self.messages.append(msg)
+
+    def of_type(self, cls):
+        return [m for m in self.messages if isinstance(m, cls)]
+
+
+@pytest.fixture
+def switch():
+    sw = Switch(1, Simulator())
+    sw.channel = FakeChannel()
+    return sw
+
+
+class TestSwitchBuffer:
+    def test_packet_in_carries_buffer_id(self, switch):
+        switch.receive_packet(tcp_packet("a", "b", "1", "2"), in_port=1)
+        pktin = switch.channel.of_type(PacketIn)[0]
+        assert pktin.buffer_id is not None
+
+    def test_buffer_ids_unique(self, switch):
+        for i in range(3):
+            switch.receive_packet(tcp_packet("a", "b", "1", "2"), in_port=1)
+        ids = [m.buffer_id for m in switch.channel.of_type(PacketIn)]
+        assert len(set(ids)) == 3
+
+    def test_packet_out_releases_buffered_packet(self, switch):
+        sent = []
+        switch.send_out = lambda pkt, port: sent.append((pkt, port))
+        original = tcp_packet("a", "b", "1", "2", payload="precious")
+        switch.receive_packet(original, in_port=1)
+        buffer_id = switch.channel.of_type(PacketIn)[0].buffer_id
+        switch.handle_message(PacketOut(buffer_id=buffer_id,
+                                        actions=(Output(2),)))
+        assert len(sent) == 1
+        assert sent[0][0].payload == "precious"
+        assert switch.buffer_hits == 1
+
+    def test_buffer_consumed_once(self, switch):
+        switch.receive_packet(tcp_packet("a", "b", "1", "2"), in_port=1)
+        buffer_id = switch.channel.of_type(PacketIn)[0].buffer_id
+        switch.handle_message(PacketOut(buffer_id=buffer_id,
+                                        actions=(Output(2),)))
+        switch.handle_message(PacketOut(buffer_id=buffer_id,
+                                        actions=(Output(2),)))
+        assert switch.buffer_misses == 1
+        assert switch.channel.of_type(ErrorMsg)
+
+    def test_stale_id_with_inline_fallback_forwards(self, switch):
+        sent = []
+        switch.send_out = lambda pkt, port: sent.append(pkt)
+        switch.handle_message(PacketOut(buffer_id=9999,
+                                        packet=tcp_packet("a", "b", "1", "2"),
+                                        actions=(Output(2),)))
+        assert len(sent) == 1
+        assert not switch.channel.of_type(ErrorMsg)
+
+    def test_eviction_bounds_memory(self, switch):
+        for i in range(Switch.PACKET_BUFFER_SLOTS + 10):
+            switch.receive_packet(tcp_packet("a", "b", "1", "2"), in_port=1)
+        assert len(switch._packet_buffer) == Switch.PACKET_BUFFER_SLOTS
+
+    def test_lldp_not_buffered(self, switch):
+        from repro.network.packet import ETH_TYPE_LLDP
+
+        switch.receive_packet(Packet(eth_type=ETH_TYPE_LLDP,
+                                     payload="lldp:2:1"), in_port=1)
+        assert switch.channel.of_type(PacketIn)[0].buffer_id is None
+
+    def test_buffering_can_be_disabled(self):
+        sw = Switch(1, Simulator(), buffer_packets=False)
+        sw.channel = FakeChannel()
+        sw.receive_packet(tcp_packet("a", "b", "1", "2"), in_port=1)
+        assert sw.channel.of_type(PacketIn)[0].buffer_id is None
+
+
+class TestEndToEnd:
+    def test_connectivity_via_buffered_packet_outs(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        runtime = MonolithicRuntime(net.controller)
+        runtime.launch_app(LearningSwitch)
+        net.start()
+        net.run_for(1.0)
+        assert net.reachability() == 1.0
+        assert sum(sw.buffer_hits for sw in net.switches.values()) > 0
+
+    def test_payloads_survive_buffered_forwarding(self):
+        net = Network(linear_topology(2, 1), seed=0)
+        runtime = MonolithicRuntime(net.controller)
+        runtime.launch_app(Hub)
+        net.start()
+        net.run_for(1.0)
+        inject_marker_packet(net, "h1", "h2", "full-payload-intact")
+        net.run_for(1.0)
+        payloads = [p.payload for _, p in net.host("h2").received
+                    if not p.is_lldp()]
+        assert "full-payload-intact" in payloads
+
+    def test_buffering_saves_rpc_bytes_under_legosdn(self):
+        """The point of buffer_id: packet bodies stop riding the
+        control/RPC channels on the way back out."""
+
+        def rpc_bytes(buffering):
+            net = Network(linear_topology(2, 1), seed=0,
+                          buffer_packets=buffering)
+            runtime = LegoSDNRuntime(net.controller)
+            runtime.launch_app(Hub())
+            net.start()
+            net.run_for(1.0)
+            for i in range(10):
+                inject_marker_packet(net, "h1", "h2", f"pkt-{i}" + "x" * 400)
+                net.run_for(0.3)
+            return runtime.channels["hub"].bytes_carried
+
+        assert rpc_bytes(buffering=True) < rpc_bytes(buffering=False) * 0.8
+
+    def test_reachability_with_buffering_disabled(self):
+        net = Network(linear_topology(2, 1), seed=0, buffer_packets=False)
+        runtime = MonolithicRuntime(net.controller)
+        runtime.launch_app(LearningSwitch)
+        net.start()
+        net.run_for(1.0)
+        assert net.reachability() == 1.0

@@ -1,0 +1,126 @@
+"""Property-based tests for NetLog's core invariants.
+
+The big one: after any interleaving of committed and aborted
+transactions, (a) the shadow tables match the real switch tables
+exactly, and (b) aborting everything that was aborted leaves no trace
+of it -- the real tables equal what the committed transactions alone
+would have produced.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.netlog.transaction import TransactionManager
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+from repro.openflow.actions import Drop, Flood, Output
+from repro.openflow.flowtable import FlowTable
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+
+macs = st.sampled_from([f"00:00:00:00:00:{i:02x}" for i in range(1, 5)])
+dpids = st.sampled_from([1, 2])
+actions = st.sampled_from([(Output(1),), (Output(2),), (Flood(),), (Drop(),)])
+
+
+@st.composite
+def flow_mods(draw):
+    return FlowMod(
+        match=Match(eth_dst=draw(macs)),
+        command=draw(st.sampled_from([
+            FlowModCommand.ADD, FlowModCommand.ADD, FlowModCommand.ADD,
+            FlowModCommand.MODIFY, FlowModCommand.DELETE,
+            FlowModCommand.DELETE_STRICT,
+        ])),
+        priority=draw(st.sampled_from([10, 20, 30])),
+        actions=draw(actions),
+    )
+
+
+@st.composite
+def transactions(draw):
+    """A transaction: list of (dpid, mod) ops plus a commit/abort fate."""
+    ops = draw(st.lists(st.tuples(dpids, flow_mods()),
+                        min_size=1, max_size=4))
+    commit = draw(st.booleans())
+    return (ops, commit)
+
+
+def fresh_net():
+    net = Network(linear_topology(2, 1), seed=0)
+    net.start()
+    return net
+
+
+@given(st.lists(transactions(), min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_shadow_always_matches_real_switches(txn_specs):
+    """After any commit/abort interleaving, shadow == reality."""
+    net = fresh_net()
+    manager = TransactionManager(net.controller)
+    for ops, commit in txn_specs:
+        txn = manager.begin("app", "prop")
+        for dpid, mod in ops:
+            manager.apply(txn, dpid, mod)
+        if commit:
+            manager.commit(txn)
+        else:
+            manager.abort(txn)
+        net.run_for(0.01)  # drain the control channel
+    for dpid in (1, 2):
+        shadow_fp = manager.shadow_table(dpid).fingerprint()
+        real_fp = net.switch(dpid).flow_table.fingerprint()
+        assert shadow_fp == real_fp, f"divergence on s{dpid}"
+
+
+@given(st.lists(transactions(), min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_aborted_transactions_leave_no_trace(txn_specs):
+    """Reality equals replaying only the committed transactions.
+
+    Caveat: this holds when aborts are immediate (no later transaction
+    ran between apply and abort), which is how the proxy uses NetLog --
+    one open transaction per app at a time, aborted before anything
+    else touches the tables.  We therefore apply+resolve sequentially.
+    """
+    net = fresh_net()
+    manager = TransactionManager(net.controller)
+    reference = {1: FlowTable(), 2: FlowTable()}
+    for ops, commit in txn_specs:
+        txn = manager.begin("app", "prop")
+        for dpid, mod in ops:
+            manager.apply(txn, dpid, mod)
+        if commit:
+            manager.commit(txn)
+            for dpid, mod in ops:
+                reference[dpid].apply_flow_mod(mod, 0.0)
+        else:
+            manager.abort(txn)
+        net.run_for(0.01)
+    for dpid in (1, 2):
+        assert (net.switch(dpid).flow_table.fingerprint()
+                == reference[dpid].fingerprint()), f"s{dpid} diverged"
+
+
+@given(st.lists(st.tuples(dpids, flow_mods()), min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_single_abort_is_perfect_undo(ops):
+    """One transaction aborted = nothing ever happened (incl. displaced
+    and deleted rules restored with identical attributes)."""
+    net = fresh_net()
+    manager = TransactionManager(net.controller)
+    # Seed some pre-existing state through a committed transaction.
+    seed = manager.begin("seed", "seed")
+    manager.apply(seed, 1, FlowMod(match=Match(eth_dst="00:00:00:00:00:01"),
+                                   priority=20, actions=(Output(1),)))
+    manager.apply(seed, 2, FlowMod(match=Match(eth_dst="00:00:00:00:00:02"),
+                                   priority=10, actions=(Flood(),)))
+    manager.commit(seed)
+    net.run_for(0.01)
+    before = {d: net.switch(d).flow_table.fingerprint() for d in (1, 2)}
+    txn = manager.begin("app", "prop")
+    for dpid, mod in ops:
+        manager.apply(txn, dpid, mod)
+    manager.abort(txn)
+    net.run_for(0.01)
+    after = {d: net.switch(d).flow_table.fingerprint() for d in (1, 2)}
+    assert before == after

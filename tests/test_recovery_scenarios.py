@@ -1,0 +1,206 @@
+"""End-to-end recovery scenarios: the paper's §3.3 behaviours in full."""
+
+import pytest
+
+from repro.apps import LearningSwitch, ShortestPathRouting
+from repro.core.appvisor.proxy import AppStatus
+from repro.core.crashpad.policy_lang import PolicyTable
+from repro.core.netlog.rollback import fingerprint_tables
+from repro.core.runtime import LegoSDNRuntime
+from repro.faults import BugKind, PartialPolicyApp, crash_on
+from repro.network.net import Network
+from repro.network.topology import linear_topology, ring_topology
+from repro.workloads.traffic import inject_marker_packet
+
+
+def tables_of(net):
+    return {dpid: sw.flow_table for dpid, sw in net.switches.items()}
+
+
+class TestDeterministicBugSurvival:
+    """§3.3: deterministic bugs survive restore+replay; Crash-Pad must
+    skip or transform the offending event instead."""
+
+    def test_skip_recovers_and_subsequent_events_flow(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        runtime.launch_app(
+            crash_on(LearningSwitch(name="app"), payload_marker="BOOM"))
+        net.start()
+        net.run_for(1.0)
+        inject_marker_packet(net, "h1", "h3", "BOOM")
+        net.run_for(2.0)
+        stats = runtime.stats()["app"]
+        assert stats["crashes"] >= 1
+        assert stats["recoveries"] == stats["crashes"]
+        # the app still serves the network afterwards
+        assert net.reachability(wait=1.0) == 1.0
+
+    def test_repeated_deterministic_bug_handled_every_time(self):
+        net = Network(linear_topology(2, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        runtime.launch_app(
+            crash_on(LearningSwitch(name="app"), payload_marker="BOOM"))
+        net.start()
+        net.run_for(1.0)
+        for round_no in range(3):
+            inject_marker_packet(net, "h1", "h2", "BOOM")
+            net.run_for(2.0)
+        stats = runtime.stats()["app"]
+        assert stats["crashes"] == 3
+        assert stats["recoveries"] == 3
+        assert runtime.is_up
+
+
+class TestNetLogRollbackScenarios:
+    def test_mid_transaction_crash_rolls_back_exactly(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        runtime.launch_app(PartialPolicyApp(policy_dpids=(1, 2, 3),
+                                            crash_after=2))
+        net.start()
+        net.run_for(1.0)
+        fp_before = fingerprint_tables(tables_of(net))
+        inject_marker_packet(net, "h1", "h3", "POLICY")
+        net.run_for(2.0)
+        assert fingerprint_tables(tables_of(net)) == fp_before
+        assert runtime.proxy.manager.aborted >= 1
+
+    def test_rollback_preserves_other_apps_rules(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        runtime.launch_app(LearningSwitch())
+        runtime.launch_app(PartialPolicyApp(policy_dpids=(1, 2, 3),
+                                            crash_after=1))
+        net.start()
+        net.run_for(1.0)
+        assert net.reachability() == 1.0  # learning switch rules in place
+        entries_before = net.total_flow_entries()
+        inject_marker_packet(net, "h1", "h3", "POLICY")
+        net.run_for(2.0)
+        # only the aborted policy's rules are gone; others untouched
+        assert net.total_flow_entries() >= entries_before - 1
+
+    def test_buffer_mode_discards_without_rollback(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller, mode="buffer")
+        runtime.launch_app(PartialPolicyApp(policy_dpids=(1, 2, 3),
+                                            crash_after=2))
+        net.start()
+        net.run_for(1.0)
+        inject_marker_packet(net, "h1", "h3", "POLICY")
+        net.run_for(2.0)
+        assert net.total_flow_entries() == 0
+        assert runtime.proxy.manager.aborted == 0  # discard, not rollback
+        assert runtime.proxy.buffer.discarded == 1
+
+    def test_completed_policies_commit_in_both_modes(self):
+        for mode in ("netlog", "buffer"):
+            net = Network(linear_topology(3, 1), seed=0)
+            runtime = LegoSDNRuntime(net.controller, mode=mode)
+            runtime.launch_app(PartialPolicyApp(policy_dpids=(1, 2, 3),
+                                                crash_after=None))
+            net.start()
+            net.run_for(1.0)
+            inject_marker_packet(net, "h1", "h3", "POLICY")
+            net.run_for(2.0)
+            assert net.total_flow_entries() == 3, mode
+
+
+class TestEquivalenceScenario:
+    def test_switch_down_transformed_preserves_routing(self):
+        """E6's shape: Equivalence keeps the routing app informed."""
+        net = Network(ring_topology(4, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        runtime.launch_app(
+            crash_on(ShortestPathRouting(), event_type="SwitchLeave"))
+        net.start()
+        net.run_for(1.5)
+        assert net.reachability(wait=1.0) == 1.0
+        net.switch_down(3)
+        net.run_for(3.0)
+        stats = runtime.stats()["routing"]
+        assert stats["crashes"] == 1
+        assert stats["transformed"] == 1
+        pairs = [(a, b) for a in ("h1", "h2", "h4")
+                 for b in ("h1", "h2", "h4") if a != b]
+        assert net.reachability(pairs=pairs, wait=1.5) == 1.0
+
+    def test_absolute_policy_ignores_switch_down(self):
+        policy = PolicyTable.parse("app=* event=* policy=absolute")
+        net = Network(ring_topology(4, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller, policy_table=policy)
+        runtime.launch_app(
+            crash_on(ShortestPathRouting(), event_type="SwitchLeave"))
+        net.start()
+        net.run_for(1.5)
+        net.reachability(wait=1.0)
+        net.switch_down(3)
+        net.run_for(3.0)
+        stats = runtime.stats()["routing"]
+        assert stats["skipped"] == 1
+        assert stats["transformed"] == 0
+        # app survived, controller survived -- correctness (route
+        # invalidation) was sacrificed instead
+        assert runtime.record("routing").status is AppStatus.UP
+
+
+class TestByzantineScenarios:
+    def test_loop_rolled_back_and_attributed(self):
+        net = Network(ring_topology(4, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller, byzantine_check=True)
+        runtime.launch_app(LearningSwitch())
+        runtime.launch_app(crash_on(LearningSwitch(name="byz"),
+                                    payload_marker="LOOP",
+                                    kind=BugKind.BYZANTINE_LOOP))
+        net.start()
+        net.run_for(1.0)
+        net.reachability(wait=1.0)  # learn hosts first
+        inject_marker_packet(net, "h1", "h3", "LOOP")
+        net.run_for(3.0)
+        assert runtime.stats()["byz"]["byzantine"] >= 1
+        from repro.invariants import (InvariantChecker, NetSnapshot,
+                                      build_host_probes)
+
+        snap = NetSnapshot.from_network(net)
+        checker = InvariantChecker(snap)
+        assert checker.check_loops(build_host_probes(snap)) == []
+        kinds = {t.failure_kind for t in runtime.tickets.for_app("byz")}
+        assert "byzantine" in kinds
+
+    def test_blackhole_detected_and_removed(self):
+        net = Network(linear_topology(3, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller, byzantine_check=True)
+        runtime.launch_app(LearningSwitch())
+        runtime.launch_app(crash_on(LearningSwitch(name="byz"),
+                                    payload_marker="HOLE",
+                                    kind=BugKind.BYZANTINE_BLACKHOLE))
+        net.start()
+        net.run_for(1.0)
+        net.reachability(wait=1.0)
+        # Let the reactive flows idle out so the marker packet punts.
+        net.run_for(LearningSwitch.IDLE_TIMEOUT + 1.0)
+        inject_marker_packet(net, "h1", "h3", "HOLE")
+        net.run_for(3.0)
+        assert runtime.stats()["byz"]["byzantine"] >= 1
+        # the drop-all rule is gone; network recovers
+        assert net.reachability(wait=1.5) == 1.0
+
+    def test_critical_shutdown_on_no_compromise_invariant(self):
+        """§5: operators may prefer shutting the network down."""
+        net = Network(ring_topology(4, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller, byzantine_check=True,
+                                 shutdown_on_critical=True)
+        runtime.launch_app(LearningSwitch())
+        runtime.launch_app(crash_on(LearningSwitch(name="byz"),
+                                    payload_marker="LOOP",
+                                    kind=BugKind.BYZANTINE_LOOP))
+        net.start()
+        net.run_for(1.0)
+        net.reachability(wait=1.0)
+        net.run_for(LearningSwitch.IDLE_TIMEOUT + 1.0)
+        inject_marker_packet(net, "h1", "h3", "LOOP")
+        net.run_for(3.0)
+        assert net.controller.crashed  # deliberate shutdown
+        assert "no-compromise-invariant" in \
+            net.controller.crash_records[0].culprit

@@ -1,0 +1,85 @@
+"""Tests for the operator report module."""
+
+import pytest
+
+from repro.apps import FlowMonitor, LearningSwitch
+from repro.cli import main
+from repro.core.runtime import LegoSDNRuntime
+from repro.faults import crash_on
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+from repro.report import render_report, write_report
+from repro.workloads.traffic import inject_marker_packet
+
+
+@pytest.fixture
+def deployment():
+    net = Network(linear_topology(2, 1), seed=0)
+    runtime = LegoSDNRuntime(net.controller)
+    runtime.launch_app(FlowMonitor())
+    runtime.launch_app(crash_on(LearningSwitch(name="buggy"),
+                                payload_marker="BOOM"))
+    net.start()
+    net.run_for(1.0)
+    inject_marker_packet(net, "h1", "h2", "BOOM")
+    net.run_for(2.0)
+    return net, runtime
+
+
+class TestRender:
+    def test_report_covers_all_sections(self, deployment):
+        net, runtime = deployment
+        text = render_report(net, runtime)
+        for section in ("# LegoSDN deployment report", "## Deployment",
+                        "## Control plane", "## Applications",
+                        "## NetLog", "## Problem tickets"):
+            assert section in text
+
+    def test_per_app_rows_present(self, deployment):
+        net, runtime = deployment
+        text = render_report(net, runtime)
+        assert "| buggy |" in text
+        assert "| monitor |" in text
+
+    def test_tickets_included(self, deployment):
+        net, runtime = deployment
+        text = render_report(net, runtime)
+        assert "fail-stop" in text
+        assert "InjectedBugError" in text  # full ticket text embedded
+
+    def test_controller_health_reported(self, deployment):
+        net, runtime = deployment
+        text = render_report(net, runtime)
+        assert "controller up now: **True**" in text
+        assert "crashes from app bugs: 0" in text
+
+    def test_no_failures_message(self):
+        net = Network(linear_topology(2, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        runtime.launch_app(FlowMonitor())
+        net.start()
+        net.run_for(0.5)
+        assert "No failures recorded." in render_report(net, runtime)
+
+    def test_custom_title_and_window(self, deployment):
+        net, runtime = deployment
+        text = render_report(net, runtime, title="Incident 42",
+                             window=(0.0, 2.0))
+        assert text.startswith("# Incident 42")
+        assert "0.00s .. 2.00s" in text
+
+
+class TestWrite:
+    def test_write_report_creates_file(self, deployment, tmp_path):
+        net, runtime = deployment
+        path = tmp_path / "report.md"
+        text = write_report(str(path), net, runtime)
+        assert path.read_text() == text
+
+    def test_cli_drill_report_flag(self, tmp_path, capsys):
+        path = tmp_path / "drill.md"
+        assert main(["drill", "--size", "2", "--duration", "3",
+                     "--rate", "20", "--report", str(path)]) == 0
+        content = path.read_text()
+        assert "## Applications" in content
+        assert "report written to" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Tests for §3.4 controller upgrades: state retention and outage."""
+
+import pytest
+
+from repro.apps import FlowMonitor, LearningSwitch
+from repro.controller.monolithic import MonolithicRuntime
+from repro.core.runtime import LegoSDNRuntime
+from repro.core.upgrade import upgrade_legosdn, upgrade_monolithic
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+
+
+def monitor_state(runtime):
+    return runtime.app("monitor").total_observations()
+
+
+def warmed_monolithic():
+    net = Network(linear_topology(2, 1), seed=0)
+    runtime = MonolithicRuntime(net.controller)
+    runtime.launch_app(FlowMonitor)
+    runtime.launch_app(LearningSwitch)
+    net.start()
+    net.run_for(1.0)
+    net.ping("h1", "h2")
+    return net, runtime
+
+
+def warmed_legosdn():
+    net = Network(linear_topology(2, 1), seed=0)
+    runtime = LegoSDNRuntime(net.controller)
+    runtime.launch_app(FlowMonitor())
+    runtime.launch_app(LearningSwitch())
+    net.start()
+    net.run_for(1.0)
+    net.ping("h1", "h2")
+    net.run_for(0.5)
+    return net, runtime
+
+
+class TestMonolithicUpgrade:
+    def test_state_lost(self):
+        net, runtime = warmed_monolithic()
+        assert monitor_state(runtime) > 0
+        report = upgrade_monolithic(net, runtime, upgrade_duration=1.0,
+                                    state_probe=monitor_state)
+        assert not report.state_retained
+        assert report.state_after == 0
+        assert report.outage >= 1.0
+
+    def test_controller_back_after_upgrade(self):
+        net, runtime = warmed_monolithic()
+        upgrade_monolithic(net, runtime, 1.0, monitor_state)
+        net.run_for(1.0)
+        assert runtime.is_up
+        assert net.reachability() == 1.0
+
+
+class TestLegoSDNUpgrade:
+    def test_state_retained(self):
+        net, runtime = warmed_legosdn()
+        before = monitor_state(runtime)
+        assert before > 0
+        report = upgrade_legosdn(net, runtime, upgrade_duration=1.0,
+                                 state_probe=monitor_state)
+        assert report.state_retained
+        assert report.state_after == before
+
+    def test_apps_resume_after_upgrade(self):
+        net, runtime = warmed_legosdn()
+        upgrade_legosdn(net, runtime, 1.0, monitor_state)
+        net.run_for(2.0)
+        assert runtime.is_up
+        assert net.reachability(wait=1.0) == 1.0
+
+    def test_app_state_keeps_growing_after_upgrade(self):
+        net, runtime = warmed_legosdn()
+        report = upgrade_legosdn(net, runtime, 1.0, monitor_state)
+        net.run_for(2.0)
+        net.ping("h1", "h2")
+        net.run_for(1.0)
+        assert monitor_state(runtime) > report.state_after
+
+
+class TestComparison:
+    def test_legosdn_retains_monolithic_loses(self):
+        """The headline §3.4 claim in one assertion."""
+        mono_net, mono_rt = warmed_monolithic()
+        lego_net, lego_rt = warmed_legosdn()
+        mono_report = upgrade_monolithic(mono_net, mono_rt, 1.0, monitor_state)
+        lego_report = upgrade_legosdn(lego_net, lego_rt, 1.0, monitor_state)
+        assert lego_report.state_retained and not mono_report.state_retained
