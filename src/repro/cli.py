@@ -4,6 +4,7 @@ Gives operators the common workflows without writing a script:
 
 - ``demo``          -- the quickstart crash/recovery walk-through
 - ``drill``         -- a parameterised fault drill on a chosen topology
+- ``trace``         -- run a scenario with tracing on; print/save the trace
 - ``bug-study``     -- replay a synthetic bug corpus (the E1 experiment)
 - ``check-policy``  -- validate a compromise-policy file
 - ``show-topology`` -- describe a builder topology
@@ -17,6 +18,13 @@ import sys
 from repro.version import __version__
 
 TOPOLOGIES = ("linear", "ring", "tree", "mesh", "fattree")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def _build_topology(name: str, size: int):
@@ -117,6 +125,61 @@ def cmd_drill(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run the quickstart scenario with tracing enabled; print the
+    per-seam span summary and optionally save the full trace."""
+    from repro.apps import LearningSwitch
+    from repro.core.runtime import LegoSDNRuntime
+    from repro.faults import crash_on
+    from repro.network.net import Network
+    from repro.telemetry import Telemetry
+    from repro.telemetry.export import write_trace
+    from repro.workloads.traffic import inject_marker_packet
+
+    telemetry = Telemetry(enabled=True,
+                          flight_capacity=args.flight_capacity)
+    net = Network(_build_topology(args.topology, args.size),
+                  seed=args.seed, telemetry=telemetry)
+    runtime = LegoSDNRuntime(net.controller)
+    app = LearningSwitch()
+    if args.crash:
+        app = crash_on(app, payload_marker="BOOM")
+    runtime.launch_app(app)
+    net.start()
+    net.run_for(1.5)
+    # Healthy traffic first, so the trace shows complete control-loop
+    # transits (dispatch -> RPC -> app -> NetLog commit) ...
+    net.reachability()
+    hosts = sorted(net.hosts)
+    if args.crash and len(hosts) >= 2:
+        # Idle the reactive flows out so the marker packet punts to the
+        # controller (and the app), then crash and recover.
+        net.run_for(LearningSwitch.IDLE_TIMEOUT + 1.0)
+        inject_marker_packet(net, hosts[0], hosts[-1], "BOOM")
+        net.run_for(2.0)
+    tracer = telemetry.tracer
+    print(f"trace captured over {net.now:.2f}s simulated: "
+          f"{len(tracer.spans)} spans, {len(telemetry.recorder)} "
+          "flight-recorder events retained")
+    by_name = {}
+    for span in tracer.spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+    for name in sorted(by_name):
+        durations = by_name[name]
+        mean = sum(durations) / len(durations)
+        print(f"  {name:<26} x{len(durations):<5} "
+              f"mean {mean * 1000:8.3f} ms  "
+              f"max {max(durations) * 1000:8.3f} ms")
+    for ticket in runtime.tickets.all():
+        print(f"ticket #{ticket.ticket_id}: {ticket.failure_kind} in "
+              f"{ticket.app_name}; flight recorder attached "
+              f"{len(ticket.flight_records)} event(s)")
+    if args.out:
+        write_trace(args.out, telemetry, fmt=args.format)
+        print(f"trace ({args.format}) written to {args.out}")
+    return 0
+
+
 def cmd_bug_study(args) -> int:
     """Replay a synthetic bug corpus and report the catastrophic rate."""
     from repro.faults import make_bug_corpus
@@ -201,6 +264,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a markdown incident report here "
                               "(legosdn runtime only)")
     p_drill.set_defaults(func=cmd_drill)
+
+    p_trace = sub.add_parser("trace", help=cmd_trace.__doc__)
+    add_topo_args(p_trace)
+    p_trace.add_argument("--no-crash", dest="crash", action="store_false",
+                         help="skip the injected app crash (healthy trace)")
+    p_trace.add_argument("--out", help="write the full trace here")
+    p_trace.add_argument("--format", choices=("json", "prom"),
+                         default="json",
+                         help="output format for --out (default json)")
+    p_trace.add_argument("--flight-capacity", type=_positive_int, default=128,
+                         help="flight-recorder ring size (default 128)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_bugs = sub.add_parser("bug-study", help=cmd_bug_study.__doc__)
     p_bugs.add_argument("--count", type=int, default=100)

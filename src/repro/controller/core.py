@@ -30,6 +30,7 @@ from repro.controller.services import (
     TopologyService,
 )
 from repro.openflow.messages import PacketIn, PortStatus
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -52,14 +53,21 @@ class CrashRecord:
     culprit: str
     exception: str
     traceback_text: str = ""
+    #: Flight-recorder dump at the moment of the crash: the last N
+    #: trace events, so the failure ships with its immediate history
+    #: (empty when telemetry is disabled).
+    flight_records: List[dict] = field(default_factory=list)
 
 
 class Controller:
     """A FloodLight-style SDN controller."""
 
     def __init__(self, sim, control_delay: float = 0.0005,
-                 discovery_interval: float = 0.5):
+                 discovery_interval: float = 0.5,
+                 telemetry: Optional[Telemetry] = None):
         self.sim = sim
+        self.telemetry = telemetry or Telemetry()
+        self.telemetry.bind_clock(lambda: self.sim.now)
         self.control_delay = control_delay
         self.channels: Dict[int, ControlChannel] = {}
         self.listeners: List[ListenerReg] = []
@@ -146,6 +154,14 @@ class Controller:
         if self.crashed:
             return
         type_name = event.type_name
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            with tracer.span("controller.dispatch", event=type_name):
+                self._deliver(event, type_name)
+        else:
+            self._deliver(event, type_name)
+
+    def _deliver(self, event, type_name: str) -> None:
         for reg in list(self.listeners):
             if not reg.wants(type_name):
                 continue
@@ -191,6 +207,10 @@ class Controller:
         if self.crashed:
             return
         self.crashed = True
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.event("controller.crash", culprit=culprit,
+                         exception=f"{type(exc).__name__}: {exc}")
         self.crash_records.append(
             CrashRecord(
                 time=self.sim.now,
@@ -199,6 +219,7 @@ class Controller:
                 traceback_text="".join(
                     traceback.format_exception(type(exc), exc, exc.__traceback__)
                 ),
+                flight_records=self.telemetry.flight_dump(),
             )
         )
         for channel in self.channels.values():
@@ -233,17 +254,31 @@ class Controller:
 
         Computed from crash records; a crash with no subsequent reboot
         counts as down through ``window_end``.  Reboots are detected by
-        interleaving crash times with the current state.
+        interleaving crash times with the current state.  Two crashes
+        sharing one reboot yield overlapping [crash, reboot) windows;
+        the intervals are merged before summing so the shared downtime
+        is counted once.
         """
         if window_end <= window_start:
             return 1.0
-        down_total = 0.0
+        intervals = []
         for record in self.crash_records:
             recoveries = [t for t in self.reboot_times if t >= record.time]
             recovered_at = min(recoveries) if recoveries else window_end
             start = max(record.time, window_start)
             end = min(recovered_at, window_end)
             if end > start:
-                down_total += end - start
+                intervals.append((start, end))
+        down_total = 0.0
+        merged_start = merged_end = None
+        for start, end in sorted(intervals):
+            if merged_end is None or start > merged_end:
+                if merged_end is not None:
+                    down_total += merged_end - merged_start
+                merged_start, merged_end = start, end
+            else:
+                merged_end = max(merged_end, end)
+        if merged_end is not None:
+            down_total += merged_end - merged_start
         span = window_end - window_start
         return max(0.0, 1.0 - down_total / span)

@@ -88,6 +88,9 @@ class AppRecord:
     deep_restores: int = 0
     supports_deep_restore: bool = False
     crash_times: List[float] = field(default_factory=list)
+    #: When the current recovery began (failure detection time), for
+    #: the crashpad.recovery telemetry span.
+    recovery_started_at: float = 0.0
     pushed_topo_version: int = -1
     pushed_device_version: int = -1
 
@@ -117,11 +120,16 @@ class AppVisorProxy:
         self.parallel_lanes = parallel_lanes
         self.controller = controller
         self.sim = controller.sim
+        self.telemetry = controller.telemetry
         self.mode = mode
         self.manager = TransactionManager(controller)
         self.buffer = DelayBuffer(self.manager)
         self.crashpad = crashpad or CrashPad()
         self.detector = detector or FailureDetector()
+        # The proxy is the composition point: the decision engine and
+        # the detector observe through the deployment's telemetry.
+        self.crashpad.telemetry = self.telemetry
+        self.detector.telemetry = self.telemetry
         self.byzantine_check = byzantine_check
         self.shutdown_on_critical = shutdown_on_critical
         self.apps: Dict[str, AppRecord] = {}
@@ -184,6 +192,7 @@ class AppVisorProxy:
     # -- frame handling ------------------------------------------------------------
 
     def on_frame(self, endpoint, frame) -> None:
+        rpc.trace_frame(self.telemetry, "recv", frame)
         if isinstance(frame, rpc.Register):
             self._on_register(endpoint, frame)
             return
@@ -262,9 +271,11 @@ class AppVisorProxy:
                 seq=seq, event=event, txn=txn, dispatched_at=self.sim.now)
             record.events_dispatched += 1
             self.detector.record_dispatch(record.name, seq, self.sim.now)
-            record.endpoint.send(rpc.EventDeliver(
+            deliver = rpc.EventDeliver(
                 app_name=record.name, seq=seq, event=event,
-            ))
+            )
+            rpc.trace_frame(self.telemetry, "send", deliver)
+            record.endpoint.send(deliver)
         record.queue = remaining
 
     @staticmethod
@@ -289,6 +300,20 @@ class AppVisorProxy:
         if inflight is None:
             return
         self.detector.record_response(record.name, self.sim.now, seq=frame.seq)
+        if self.telemetry.enabled:
+            # The event round trip is split-phase (EventDeliver out,
+            # EventComplete back), so it is recorded with an explicit
+            # start rather than a context manager.
+            self.telemetry.tracer.record_span(
+                "appvisor.event", start=inflight.dispatched_at,
+                app=record.name, seq=frame.seq,
+                event=inflight.event.type_name,
+                outputs=frame.output_count,
+            )
+            self.telemetry.metrics.observe(
+                f"app.{record.name}.event_latency",
+                self.sim.now - inflight.dispatched_at,
+            )
         for counter_name, delta in frame.counter_deltas:
             self.controller.counters.inc(f"{record.name}.{counter_name}", delta)
         violations = self._finish_transaction(record, inflight, frame)
@@ -382,6 +407,11 @@ class AppVisorProxy:
         """
         if record.status is not AppStatus.UP:
             return  # already being handled
+        if self.telemetry.enabled:
+            self.telemetry.tracer.event(
+                "crashpad.failure", app=record.name, kind=kind,
+                seq=offending_seq, error=error,
+            )
         # Identify the offending in-flight event (if any) and separate
         # it from innocent-bystander lanes.
         offending_inflight = None
@@ -431,6 +461,7 @@ class AppVisorProxy:
             wal_excerpt=wal_excerpt,
             recovery_policy=decision.policy.value,
             recovery_note=decision.note,
+            flight_records=self.telemetry.flight_dump(),
         )
         self.controller.dispatch(AppCrashed(app_name=record.name, reason=kind))
         if self.shutdown_on_critical and violations and \
@@ -454,6 +485,7 @@ class AppVisorProxy:
             return
         # Recover: restore the checkpoint, then skip or transform.
         record.status = AppStatus.RECOVERING
+        record.recovery_started_at = self.sim.now
         restore_seq = (offending_inflight.seq if offending_inflight
                        else record.last_seq + 1)
         self.detector.clear(record.name, self.sim.now)
@@ -474,15 +506,17 @@ class AppVisorProxy:
             # using plain restores (every recovery still succeeds, the
             # bug just keeps being skipped).
             record.deep_restores += 1
-            record.endpoint.send(rpc.DeepRestoreCommand(
+            command = rpc.DeepRestoreCommand(
                 app_name=record.name, offending_seq=restore_seq,
                 drop_seqs=drop_seqs,
-            ))
+            )
         else:
-            record.endpoint.send(rpc.RestoreCommand(
+            command = rpc.RestoreCommand(
                 app_name=record.name, offending_seq=restore_seq,
                 drop_seqs=drop_seqs,
-            ))
+            )
+        rpc.trace_frame(self.telemetry, "send", command)
+        record.endpoint.send(command)
 
     #: Escalate to a deep (STS-guided) restore when an app crashes this
     #: many times within DEEP_RESTORE_WINDOW seconds -- the signature of
@@ -531,6 +565,21 @@ class AppVisorProxy:
     def _on_restore_ack(self, record: AppRecord, frame: rpc.RestoreAck) -> None:
         if record.status is not AppStatus.RECOVERING:
             return
+        if self.telemetry.enabled:
+            # Detection -> checkpoint restore -> replay -> back up: the
+            # paper's recovery window, end to end.
+            self.telemetry.tracer.record_span(
+                "crashpad.recovery", start=record.recovery_started_at,
+                status="ok" if frame.ok else "error",
+                app=record.name, ok=frame.ok,
+                replayed=frame.replayed_events,
+                restore_cost=frame.restore_cost,
+                deep=bool(frame.sts_culprits),
+            )
+            self.telemetry.metrics.observe(
+                f"app.{record.name}.recovery_time",
+                self.sim.now - record.recovery_started_at,
+            )
         if not frame.ok:
             record.status = AppStatus.DEAD
             self.detector.forget(record.name)
@@ -568,10 +617,12 @@ class AppVisorProxy:
             return
         record.pushed_topo_version = topo_version
         record.pushed_device_version = device_version
-        record.endpoint.send(rpc.ContextPush(
+        push = rpc.ContextPush(
             topo=self.controller.topology.view(),
             hosts=tuple(self.controller.devices.all().values()),
-        ))
+        )
+        rpc.trace_frame(self.telemetry, "send", push)
+        record.endpoint.send(push)
 
     # -- introspection -------------------------------------------------------------------
 

@@ -165,3 +165,27 @@ def encode_frame(frame) -> bytes:
 def decode_frame(data: bytes):
     """Parse a frame off the wire."""
     return decode_value(data)
+
+
+def frame_label(frame) -> str:
+    """The frame's wire-protocol name, for telemetry tagging."""
+    return type(frame).__name__
+
+
+def trace_frame(telemetry, direction: str, frame) -> None:
+    """Record one frame crossing the proxy<->stub RPC boundary.
+
+    ``direction`` is ``"send"`` or ``"recv"`` from the caller's point
+    of view.  A no-op (one attribute check) when telemetry is off, so
+    the RPC hot path stays benchmark-neutral.
+    """
+    if not telemetry.enabled:
+        return
+    label = frame_label(frame)
+    telemetry.tracer.event(
+        f"appvisor.rpc.{direction}",
+        frame=label,
+        app=getattr(frame, "app_name", ""),
+        seq=getattr(frame, "seq", None),
+    )
+    telemetry.metrics.inc(f"rpc.{direction}.{label}")

@@ -49,11 +49,15 @@ class FailureDetector:
     """Timeout-based failure detector for AppVisor stubs."""
 
     def __init__(self, heartbeat_timeout: float = 0.35,
-                 event_timeout: float = 0.5):
+                 event_timeout: float = 0.5, telemetry=None):
         self.heartbeat_timeout = heartbeat_timeout
         self.event_timeout = event_timeout
         self._health: Dict[str, AppHealth] = {}
         self.suspicions_raised = 0
+        #: Optional Telemetry; suspicions become trace events (the
+        #: "detect" edge of the recovery timeline).  The AppVisor proxy
+        #: rebinds this to the deployment's telemetry at composition.
+        self.telemetry = telemetry
 
     def register(self, app_name: str, now: float) -> None:
         self._health[app_name] = AppHealth(last_heartbeat=now)
@@ -115,6 +119,13 @@ class FailureDetector:
                     silent_for=now - health.last_heartbeat,
                 ))
         self.suspicions_raised += len(suspicions)
+        if suspicions and self.telemetry is not None and self.telemetry.enabled:
+            for suspicion in suspicions:
+                self.telemetry.tracer.event(
+                    "crashpad.suspicion", app=suspicion.app_name,
+                    reason=suspicion.reason, seq=suspicion.inflight_seq,
+                    silent_for=suspicion.silent_for,
+                )
         return suspicions
 
     def health_of(self, app_name: str) -> Optional[AppHealth]:

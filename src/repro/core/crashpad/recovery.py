@@ -32,6 +32,7 @@ from repro.invariants import (
     Violation,
     build_host_probes,
 )
+from repro.telemetry.tracer import NULL_TRACER
 
 
 class CrashPad:
@@ -40,12 +41,17 @@ class CrashPad:
     def __init__(self, policy_table: Optional[PolicyTable] = None,
                  transformer: Optional[EventTransformer] = None,
                  tickets: Optional[TicketStore] = None,
-                 critical_invariants: tuple = ("loop",)):
+                 critical_invariants: tuple = ("loop",),
+                 telemetry=None):
         self.policy_table = policy_table or default_policy_table()
         self.transformer = transformer or EventTransformer()
         self.tickets = tickets or TicketStore()
         self.critical_invariants = critical_invariants
         self.decisions: List[RecoveryDecision] = []
+        #: Optional Telemetry; decisions and byzantine checks become
+        #: trace events/spans.  The AppVisor proxy rebinds this to the
+        #: deployment's telemetry at composition.
+        self.telemetry = telemetry
 
     # -- design question 2: how much to compromise -----------------------
 
@@ -93,6 +99,11 @@ class CrashPad:
                           f"{len(replacements)} event(s)"),
                 )
         self.decisions.append(decision)
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.tracer.event(
+                "crashpad.decision", app=app_name,
+                policy=decision.policy.value, note=decision.note,
+            )
         return decision
 
     # -- byzantine detection ------------------------------------------------
@@ -108,12 +119,16 @@ class CrashPad:
         snapshot = NetSnapshot.from_tables(tables, topo, host_entries)
         if not snapshot.hosts:
             return []  # nothing learned yet; nothing to check against
-        checker = InvariantChecker(snapshot,
-                                   critical_kinds=self.critical_invariants)
-        probes = build_host_probes(snapshot)
-        violations = []
-        violations.extend(checker.check_loops(probes))
-        violations.extend(checker.check_blackholes(probes))
+        tracer = (self.telemetry.tracer if self.telemetry is not None
+                  else NULL_TRACER)
+        with tracer.span("crashpad.byzantine_check") as span:
+            checker = InvariantChecker(
+                snapshot, critical_kinds=self.critical_invariants)
+            probes = build_host_probes(snapshot)
+            violations = []
+            violations.extend(checker.check_loops(probes))
+            violations.extend(checker.check_blackholes(probes))
+            span.set_tag("violations", len(violations))
         return violations
 
     def has_critical(self, violations: List[Violation]) -> bool:

@@ -35,14 +35,23 @@ class WriteAheadLog:
 
     records: List[NetLogRecord] = field(default_factory=list)
     max_records: Optional[int] = 100_000
+    #: Optional Telemetry; appends are counted and head-trims surface
+    #: as trace events (a trim silently shortens the audit trail).
+    telemetry: Optional[object] = field(default=None, repr=False,
+                                        compare=False)
 
     def append(self, record: NetLogRecord) -> None:
         self.records.append(record)
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.metrics.inc("netlog.wal.appends")
         if self.max_records is not None and len(self.records) > self.max_records:
             # Trim the oldest committed prefix; aborts always touch the
             # tail, so trimming the head is safe.
             excess = len(self.records) - self.max_records
             del self.records[:excess]
+            if self.telemetry is not None and self.telemetry.enabled:
+                self.telemetry.tracer.event("netlog.wal.trim",
+                                            dropped=excess)
 
     def for_transaction(self, txn_id: int) -> List[NetLogRecord]:
         return [r for r in self.records if r.txn_id == txn_id]

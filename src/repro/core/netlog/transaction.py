@@ -63,8 +63,9 @@ class TransactionManager:
     def __init__(self, controller):
         self.controller = controller
         self.sim = controller.sim
+        self.telemetry = controller.telemetry
         self.shadow: Dict[int, FlowTable] = {}
-        self.wal = WriteAheadLog()
+        self.wal = WriteAheadLog(telemetry=self.telemetry)
         self.counter_cache = CounterCache()
         self._txn_ids = itertools.count(1)
         self.open_txns: Dict[int, Transaction] = {}
@@ -108,6 +109,11 @@ class TransactionManager:
             opened_at=self.sim.now,
         )
         self.open_txns[txn.txn_id] = txn
+        if self.telemetry.enabled:
+            self.telemetry.tracer.event(
+                "netlog.txn.open", txn=txn.txn_id, app=app_name,
+                event=event_desc,
+            )
         return txn
 
     def apply(self, txn: Transaction, dpid: int, msg: Message) -> None:
@@ -141,6 +147,13 @@ class TransactionManager:
         txn.state = TxnState.COMMITTED
         self.open_txns.pop(txn.txn_id, None)
         self.committed += 1
+        if self.telemetry.enabled:
+            # Open -> commit is split-phase (the app streams outputs in
+            # between), so the span carries an explicit start.
+            self.telemetry.tracer.record_span(
+                "netlog.txn", start=txn.opened_at, txn=txn.txn_id,
+                app=txn.app_name, outcome="commit", ops=txn.size,
+            )
         # Deletes were intentional: drop any counter history we held
         # for the entries this transaction removed.
         for record in txn.records:
@@ -170,6 +183,12 @@ class TransactionManager:
                 sent += 1
             for cr in record.counter_records:
                 self.counter_cache.store(cr)
+        if self.telemetry.enabled:
+            self.telemetry.tracer.record_span(
+                "netlog.txn", start=txn.opened_at, txn=txn.txn_id,
+                app=txn.app_name, outcome="rollback", ops=txn.size,
+                inverses_sent=sent,
+            )
         return sent
 
     # -- byzantine-check support ----------------------------------------------

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import bisect
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class LatencyRecorder:
@@ -11,25 +12,40 @@ class LatencyRecorder:
 
     Percentiles use the nearest-rank method over sorted samples --
     small-sample-friendly, which matters because control-loop
-    experiments often record tens, not millions, of samples.
+    experiments often record tens, not millions, of samples.  The
+    sorted order is cached between records, so a ``summary()`` (three
+    percentile reads) sorts once, not three times.
     """
 
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: List[float] = []
+        self._total = 0.0
+        self._sorted: Optional[List[float]] = None
 
     def record(self, value: float) -> None:
         self.samples.append(value)
+        self._total += value
+        self._sorted = None
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self.samples)
+        return self._sorted
 
     @property
     def count(self) -> int:
         return len(self.samples)
 
     @property
+    def sum(self) -> float:
+        return self._total
+
+    @property
     def mean(self) -> float:
         if not self.samples:
             return math.nan
-        return sum(self.samples) / len(self.samples)
+        return self._total / len(self.samples)
 
     @property
     def minimum(self) -> float:
@@ -45,9 +61,21 @@ class LatencyRecorder:
             return math.nan
         if not 0 <= p <= 100:
             raise ValueError("percentile must be in [0, 100]")
-        ordered = sorted(self.samples)
+        ordered = self._ordered()
         rank = max(1, math.ceil(p / 100 * len(ordered)))
         return ordered[rank - 1]
+
+    def histogram(self, buckets: Sequence[float]) -> List[Tuple[float, int]]:
+        """Cumulative counts per upper bound, Prometheus ``le`` style.
+
+        Returns ``(bound, samples <= bound)`` for each bound in sorted
+        order, always terminated by an ``(inf, count)`` bucket.
+        """
+        ordered = self._ordered()
+        result = [(bound, bisect.bisect_right(ordered, bound))
+                  for bound in sorted(buckets)]
+        result.append((math.inf, len(ordered)))
+        return result
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -25,7 +25,7 @@ class Network:
                  discovery_interval: float = 0.5,
                  flow_sweep_interval: float = 0.05,
                  buffer_packets: bool = True,
-                 controller=None):
+                 controller=None, telemetry=None):
         # Imported here, not at module top: repro.controller.services
         # imports the packet model from this package, so a module-level
         # import would be circular.
@@ -37,6 +37,7 @@ class Network:
         self.controller = controller or Controller(
             self.sim, control_delay=control_delay,
             discovery_interval=discovery_interval,
+            telemetry=telemetry,
         )
         self.flow_sweep_interval = flow_sweep_interval
         self.switches: Dict[int, Switch] = {}

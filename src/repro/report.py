@@ -20,6 +20,64 @@ def _table(headers: List[str], rows: List[List[object]]) -> List[str]:
     return lines
 
 
+#: Histogram upper bounds for the report's latency tables, in ms.
+_HISTOGRAM_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+
+def _telemetry_section(telemetry) -> List[str]:
+    """Per-app latency histograms + span summary, when tracing is on."""
+    lines = ["## Telemetry", ""]
+    recorders = [
+        (name[len("app."):-len(".event_latency")], recorder)
+        for name, recorder in sorted(telemetry.metrics.recorders.items())
+        if name.startswith("app.") and name.endswith(".event_latency")
+    ]
+    if recorders:
+        lines += ["### Per-app event latency (ms)", ""]
+        rows = []
+        for app, recorder in recorders:
+            rows.append([
+                app, recorder.count,
+                f"{recorder.mean * 1000:.3f}",
+                f"{recorder.percentile(50) * 1000:.3f}",
+                f"{recorder.percentile(95) * 1000:.3f}",
+                f"{recorder.percentile(99) * 1000:.3f}",
+                f"{recorder.maximum * 1000:.3f}",
+            ])
+        lines += _table(["app", "events", "mean", "p50", "p95", "p99",
+                         "max"], rows)
+        lines += ["", "### Per-app latency histogram (cumulative counts)",
+                  ""]
+        bucket_headers = [f"<={b:g}ms" for b in _HISTOGRAM_BUCKETS_MS]
+        hist_rows = []
+        for app, recorder in recorders:
+            counts = recorder.histogram(
+                [b / 1000.0 for b in _HISTOGRAM_BUCKETS_MS])
+            hist_rows.append([app] + [c for _, c in counts])
+        lines += _table(["app"] + bucket_headers + ["total"], hist_rows)
+        lines.append("")
+    spans = telemetry.tracer.spans
+    by_name: dict = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+    if by_name:
+        lines += ["### Trace spans", ""]
+        lines += _table(
+            ["span", "count", "mean (ms)", "max (ms)"],
+            [[name, len(durations),
+              f"{sum(durations) / len(durations) * 1000:.3f}",
+              f"{max(durations) * 1000:.3f}"]
+             for name, durations in sorted(by_name.items())],
+        )
+        lines.append("")
+    lines.append(
+        f"- flight recorder: {len(telemetry.recorder)} events retained "
+        f"({telemetry.recorder.total_recorded} recorded, ring capacity "
+        f"{telemetry.recorder.capacity})")
+    lines.append("")
+    return lines
+
+
 def render_report(net, runtime, title: str = "LegoSDN deployment report",
                   window: Optional[tuple] = None) -> str:
     """Build the markdown report for a (net, LegoSDN runtime) pair."""
@@ -92,6 +150,11 @@ def render_report(net, runtime, title: str = "LegoSDN deployment report",
         f"{runtime.proxy.buffer.flushed}/{runtime.proxy.buffer.discarded}",
         "",
     ]
+
+    # -- telemetry ------------------------------------------------------
+    telemetry = getattr(runtime, "telemetry", None)
+    if telemetry is not None and telemetry.enabled:
+        lines += _telemetry_section(telemetry)
 
     # -- tickets --------------------------------------------------------------
     tickets = runtime.tickets.all()

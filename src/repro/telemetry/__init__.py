@@ -1,0 +1,84 @@
+"""Telemetry: tracing, flight recording, and metrics export.
+
+The paper's claims are *temporal* -- crashes are contained within a
+bounded recovery window, transactions roll back before anyone sees
+partial state -- so this layer makes the stack's timeline observable.
+One :class:`Telemetry` object composes the three pieces:
+
+- a :class:`~repro.telemetry.tracer.Tracer` producing nestable spans
+  at the four seams (controller dispatch, AppVisor RPC, NetLog
+  transactions, Crash-Pad recovery);
+- a :class:`~repro.telemetry.recorder.FlightRecorder` ring of the last
+  N events, dumped into crash records and problem tickets;
+- a :class:`~repro.metrics.collector.MetricsCollector` fed per-seam
+  latency series, exportable as Prometheus text or JSON
+  (:mod:`repro.telemetry.export`).
+
+Telemetry is **disabled by default** and the disabled object is inert:
+its tracer is the shared no-op :data:`~repro.telemetry.tracer.NULL_TRACER`
+and instrumented sites guard tag construction behind
+``telemetry.enabled``, so the hot paths stay benchmark-neutral.  Opt in
+per deployment::
+
+    telemetry = Telemetry(enabled=True)
+    net = Network(topo, telemetry=telemetry)
+    ...
+    print(telemetry.tracer.span_names())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.telemetry.export import prometheus_text, trace_dict, trace_json
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "FlightRecorder",
+    "NullTracer",
+    "SpanRecord",
+    "Telemetry",
+    "Tracer",
+    "prometheus_text",
+    "trace_dict",
+    "trace_json",
+]
+
+
+class Telemetry:
+    """Tracer + flight recorder + metrics, wired together."""
+
+    def __init__(self, enabled: bool = False,
+                 clock: Optional[Callable[[], float]] = None,
+                 flight_capacity: int = 128, max_spans: int = 20_000):
+        self.enabled = enabled
+        self.metrics = MetricsCollector()
+        self.recorder = FlightRecorder(capacity=flight_capacity)
+        if enabled:
+            self.tracer: object = Tracer(
+                clock=clock, recorder=self.recorder,
+                metrics=self.metrics, max_spans=max_spans,
+            )
+        else:
+            self.tracer = NULL_TRACER
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at the deployment's (simulated) clock.
+
+        Called by the Controller at construction, so a Telemetry can be
+        created before the Simulator it will observe.
+        """
+        if self.enabled:
+            self.tracer.clock = clock
+
+    def flight_dump(self) -> list:
+        """The flight recorder's retained events (empty when disabled)."""
+        return self.recorder.dump()
+
+    def to_dict(self) -> dict:
+        return trace_dict(self)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return trace_json(self, indent=indent)

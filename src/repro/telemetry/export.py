@@ -1,0 +1,95 @@
+"""Exposition: turn collected telemetry into standard formats.
+
+Two consumers, two formats:
+
+- **Prometheus text** (:func:`prometheus_text`) for scrape-style
+  monitoring: counters become ``*_total`` counters, latency recorders
+  become summaries (quantiles + sum + count) with an optional
+  histogram rendering for dashboard heat-maps;
+- **JSON** (:func:`trace_dict` / :func:`trace_json`) for the ``repro
+  trace`` CLI and offline analysis: the full span list, the flight
+  recorder contents, and a metrics snapshot in one document.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import List, Optional, Sequence
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Default latency histogram upper bounds, in seconds (1 ms .. 100 ms).
+DEFAULT_BUCKETS = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Fold an internal metric name into the Prometheus charset."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(metrics, prefix: str = "repro",
+                    buckets: Sequence[float] = DEFAULT_BUCKETS) -> str:
+    """Render a MetricsCollector in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, value in sorted(metrics.counters.items()):
+        metric = f"{prefix}_{sanitize_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, recorder in sorted(metrics.recorders.items()):
+        base = f"{prefix}_{sanitize_metric_name(name)}_seconds"
+        lines.append(f"# TYPE {base} summary")
+        for quantile in (0.5, 0.95, 0.99):
+            lines.append(
+                f'{base}{{quantile="{quantile}"}} '
+                f"{_format_value(recorder.percentile(quantile * 100))}"
+            )
+        lines.append(f"{base}_sum {_format_value(recorder.sum)}")
+        lines.append(f"{base}_count {recorder.count}")
+        hist = f"{base}_hist"
+        lines.append(f"# TYPE {hist} histogram")
+        for bound, cumulative in recorder.histogram(buckets):
+            lines.append(
+                f'{hist}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{hist}_sum {_format_value(recorder.sum)}")
+        lines.append(f"{hist}_count {recorder.count}")
+    return "\n".join(lines) + "\n"
+
+
+def trace_dict(telemetry) -> dict:
+    """The whole telemetry state as one JSON-safe document."""
+    return {
+        "enabled": telemetry.enabled,
+        "spans": telemetry.tracer.to_dicts(),
+        "flight_recorder": telemetry.recorder.dump(),
+        "metrics": telemetry.metrics.snapshot(),
+    }
+
+
+def trace_json(telemetry, indent: Optional[int] = 2) -> str:
+    return json.dumps(trace_dict(telemetry), indent=indent)
+
+
+def write_trace(path: str, telemetry, fmt: str = "json") -> None:
+    """Write the trace to ``path`` as ``json`` or ``prom`` text."""
+    if fmt == "prom":
+        text = prometheus_text(telemetry.metrics)
+    elif fmt == "json":
+        text = trace_json(telemetry)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}")
+    with open(path, "w") as fh:
+        fh.write(text)

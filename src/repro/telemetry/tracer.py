@@ -1,0 +1,228 @@
+"""Structured tracing over the simulated clock.
+
+A :class:`Tracer` produces **spans** -- named, tagged intervals of
+simulated time -- at the stack's four seams (controller dispatch,
+AppVisor RPC, NetLog transactions, Crash-Pad recovery).  Spans nest:
+a NetLog transaction opened while the controller is dispatching a
+PacketIn records the dispatch span as its parent, so a finished trace
+reconstructs the causal timeline of one control-loop transit.
+
+Two span shapes exist because the stack has two kinds of duration:
+
+- synchronous work uses ``with tracer.span(name, **tags):`` (parented
+  off the enclosing span via the tracer's stack);
+- split-phase work -- an event delivered now and completed by a later
+  RPC frame, a recovery started at detection and finished at the
+  RestoreAck -- uses :meth:`Tracer.record_span` with an explicit start
+  time, since no Python call frame brackets the interval.
+
+Tracing is **off by default**: every instrumented component holds a
+:data:`NULL_TRACER` unless the operator opted in, and the null paths
+cost one attribute load plus a truthiness check -- cheap enough that
+the tier-1 latency benchmarks cannot see the difference.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+def json_safe(value):
+    """Coerce a tag value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a named, tagged interval of simulated time."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: float
+    tags: Dict[str, object] = field(default_factory=dict)
+    status: str = "ok"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "tags": {k: json_safe(v) for k, v in self.tags.items()},
+        }
+
+
+class _NullSpan:
+    """The reusable no-op context manager the null tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set_tag(self, key, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Does nothing, as fast as possible.
+
+    Instrumented hot paths check ``tracer.enabled`` before building
+    tag dicts, so the disabled cost is one attribute load per seam.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **tags) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **tags) -> None:
+        pass
+
+    def record_span(self, name: str, start: float, status: str = "ok",
+                    **tags) -> None:
+        return None
+
+    def to_dicts(self) -> List[dict]:
+        return []
+
+
+#: The shared stateless no-op tracer every component starts with.
+NULL_TRACER = NullTracer()
+
+
+class _ActiveSpan:
+    """An open span; finishes (and records itself) on ``__exit__``."""
+
+    __slots__ = ("tracer", "name", "tags", "span_id", "parent_id", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, object]):
+        self.tracer = tracer
+        self.name = name
+        self.tags = tags
+        self.span_id = next(tracer._ids)
+        self.parent_id = None
+        self.start = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self.tracer._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        self.start = self.tracer.clock()
+        stack.append(self)
+        return self
+
+    def set_tag(self, key, value) -> None:
+        self.tags[key] = value
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        status = "ok"
+        if exc_type is not None:
+            status = "error"
+            self.tags.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self.tracer._finish(SpanRecord(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            start=self.start,
+            end=self.tracer.clock(),
+            tags=self.tags,
+            status=status,
+        ))
+        return False  # never swallow exceptions
+
+
+class Tracer:
+    """Collects spans and point events against a supplied clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 recorder=None, metrics=None, max_spans: int = 20_000):
+        #: Returns the current (simulated) time; rebindable so the
+        #: tracer can be created before the Simulator exists.
+        self.clock = clock or (lambda: 0.0)
+        #: Optional FlightRecorder mirroring every finished span/event.
+        self.recorder = recorder
+        #: Optional MetricsCollector fed per-span-name latency series.
+        self.metrics = metrics
+        self.max_spans = max_spans
+        self.spans: List[SpanRecord] = []
+        self.dropped = 0
+        self._stack: List[_ActiveSpan] = []
+        self._ids = itertools.count(1)
+
+    # -- producing ---------------------------------------------------------
+
+    def span(self, name: str, **tags) -> _ActiveSpan:
+        """Open a nested span; use as a context manager."""
+        return _ActiveSpan(self, name, tags)
+
+    def record_span(self, name: str, start: float, status: str = "ok",
+                    **tags) -> SpanRecord:
+        """Record a split-phase span that started at ``start``.
+
+        Used where no call frame brackets the interval (an event
+        completing via a later RPC frame, a recovery finishing at the
+        RestoreAck); such spans have no parent.
+        """
+        record = SpanRecord(
+            span_id=next(self._ids), parent_id=None, name=name,
+            start=start, end=self.clock(), tags=tags, status=status,
+        )
+        self._finish(record)
+        return record
+
+    def event(self, name: str, **tags) -> None:
+        """Record a point-in-time trace event (no duration)."""
+        if self.recorder is not None:
+            self.recorder.record(self.clock(), "event", name, tags)
+        if self.metrics is not None:
+            self.metrics.inc(f"trace.events.{name}")
+
+    def _finish(self, record: SpanRecord) -> None:
+        if len(self.spans) < self.max_spans:
+            self.spans.append(record)
+        else:
+            self.dropped += 1
+        if self.recorder is not None:
+            flight_tags = dict(record.tags)
+            flight_tags["duration"] = record.duration
+            if record.status != "ok":
+                flight_tags["status"] = record.status
+            self.recorder.record(record.end, "span", record.name, flight_tags)
+        if self.metrics is not None:
+            self.metrics.observe(f"span.{record.name}", record.duration)
+
+    # -- consuming ------------------------------------------------------------
+
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+    def span_names(self) -> List[str]:
+        """Distinct span names seen, sorted (the covered seams)."""
+        return sorted({s.name for s in self.spans})
+
+    def to_dicts(self) -> List[dict]:
+        return [s.to_dict() for s in self.spans]
