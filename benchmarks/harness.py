@@ -14,6 +14,7 @@ Every benchmark follows the same pattern:
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.controller.monolithic import MonolithicRuntime
@@ -24,6 +25,23 @@ from repro.network.net import Network
 def run_once(benchmark, fn: Callable):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    rank = math.ceil(pct / 100.0 * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+def span_durations(telemetry, name: str) -> List[float]:
+    """Durations (sim seconds) of every completed span named ``name``."""
+    if not telemetry.enabled:
+        return []
+    return [span.duration for span in telemetry.tracer.spans
+            if span.name == name]
 
 
 def print_table(title: str, headers: Sequence[str],
@@ -59,9 +77,9 @@ def build_monolithic(topology, app_factories, seed: int = 0,
 
 
 def build_legosdn(topology, apps, seed: int = 0, warmup: float = 1.0,
-                  **runtime_kwargs):
-    """A started LegoSDN deployment."""
-    net = Network(topology, seed=seed)
+                  telemetry=None, **runtime_kwargs):
+    """A started LegoSDN deployment (optionally with telemetry)."""
+    net = Network(topology, seed=seed, telemetry=telemetry)
     runtime = LegoSDNRuntime(net.controller, **runtime_kwargs)
     for app in apps:
         runtime.launch_app(app)

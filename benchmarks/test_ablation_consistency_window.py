@@ -103,9 +103,9 @@ def _byzantine_exposure(mode):
     def wrap(switch):
         original = switch.handle_message
 
-        def spy(msg):
+        def spy(msg, **kwargs):
             before = any(e.priority == 6000 for e in switch.flow_table)
-            original(msg)
+            original(msg, **kwargs)
             after = any(e.priority == 6000 for e in switch.flow_table)
             if after and not before:
                 windows.append([net.now, None])

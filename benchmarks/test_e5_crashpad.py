@@ -18,16 +18,32 @@ from repro.core.appvisor.proxy import AppStatus
 from repro.core.crashpad.policy_lang import PolicyTable
 from repro.faults import BugKind, crash_on
 from repro.network.topology import linear_topology
+from repro.telemetry import Telemetry
 from repro.workloads.traffic import inject_marker_packet
 
-from benchmarks.harness import build_legosdn, print_table, run_once
+from benchmarks.harness import (
+    build_legosdn,
+    percentile,
+    print_table,
+    run_once,
+    span_durations,
+)
+
+#: Sim-clock SLO on the paper's recovery window (detection ->
+#: checkpoint restore -> replay -> back up), asserted as a p95 over
+#: the ``crashpad.recovery`` spans the deployments emit.  Recovery
+#: here is crash-report detected, so the window is dominated by the
+#: restore round trip -- well under the 0.25 s heartbeat path.
+RECOVERY_P95_BOUND = 0.25
 
 
 def _run_policy(policy_text):
+    telemetry = Telemetry(enabled=True)
     net, runtime = build_legosdn(
         linear_topology(2, 1),
         [crash_on(LearningSwitch(name="app"), payload_marker="BOOM")],
         policy_table=PolicyTable.parse(policy_text),
+        telemetry=telemetry,
     )
     crash_time = net.now
     inject_marker_packet(net, "h1", "h2", "BOOM")
@@ -43,6 +59,7 @@ def _run_policy(policy_text):
         "skipped": stats["skipped"],
         "reach_after": net.reachability(wait=1.0),
         "controller_up": runtime.is_up,
+        "recovery_spans": span_durations(telemetry, "crashpad.recovery"),
     }
 
 
@@ -92,8 +109,14 @@ def test_e5_crashpad_policies(benchmark):
     print(f"detection latency: crash report "
           f"{r['detect_crash_report'] * 1000:.1f} ms vs heartbeat timeout "
           f"{r['detect_heartbeat'] * 1000:.1f} ms")
+    recovery_spans = [
+        d for p in ("absolute", "equivalence") for d in r[p]["recovery_spans"]
+    ]
+    print(f"recovery spans: n={len(recovery_spans)} "
+          f"p95={percentile(recovery_spans, 95) * 1000:.1f} ms")
     benchmark.extra_info["results"] = {
         k: v for k, v in r.items() if isinstance(v, dict)}
+    benchmark.extra_info["recovery_p95"] = percentile(recovery_spans, 95)
 
     # No-Compromise: availability sacrificed, correctness intact.
     assert not r["no-compromise"]["survived"]
@@ -110,3 +133,7 @@ def test_e5_crashpad_policies(benchmark):
                for p in ("no-compromise", "absolute", "equivalence"))
     # Fast path beats the heartbeat path comfortably.
     assert r["detect_crash_report"] * 5 < r["detect_heartbeat"]
+    # Recovery SLO: every surviving policy recovered at least once, and
+    # the p95 recovery window (sim clock) honours the bound.
+    assert recovery_spans, "no crashpad.recovery spans recorded"
+    assert percentile(recovery_spans, 95) <= RECOVERY_P95_BOUND

@@ -4,7 +4,9 @@ Gives operators the common workflows without writing a script:
 
 - ``demo``          -- the quickstart crash/recovery walk-through
 - ``drill``         -- a parameterised fault drill on a chosen topology
+- ``replicate``     -- primary-backup failover demo (kill the primary)
 - ``trace``         -- run a scenario with tracing on; print/save the trace
+- ``serve``         -- run a scenario, then serve /metrics over HTTP
 - ``bug-study``     -- replay a synthetic bug corpus (the E1 experiment)
 - ``check-policy``  -- validate a compromise-policy file
 - ``show-topology`` -- describe a builder topology
@@ -125,6 +127,56 @@ def cmd_drill(args) -> int:
     return 0
 
 
+def cmd_replicate(args) -> int:
+    """Controller HA walk-through: kill the primary mid-workload and
+    watch a warm backup take over without losing the apps."""
+    from repro.apps import LearningSwitch
+    from repro.core.runtime import LegoSDNRuntime
+    from repro.network.net import Network
+    from repro.replication import ReplicaSet
+    from repro.telemetry import Telemetry
+    from repro.workloads import ChurnWorkload, TrafficWorkload
+
+    telemetry = Telemetry(enabled=True,
+                          flight_capacity=args.flight_capacity)
+    net = Network(_build_topology(args.topology, args.size),
+                  seed=args.seed, telemetry=telemetry)
+    runtime = LegoSDNRuntime(net.controller)
+    replicas = ReplicaSet(net, runtime, backups=args.backups,
+                          lease_timeout=args.lease, seed=args.seed)
+    runtime.launch_app(LearningSwitch())
+    net.start()
+    net.run_for(1.5)
+    TrafficWorkload(net, rate=args.rate, seed=args.seed).start(args.duration)
+    churn = None
+    if len(net.hosts) > 2 and args.churn > 0:
+        churn = ChurnWorkload(net, rate=args.churn, seed=args.seed)
+        churn.start(args.duration)
+    net.run_for(args.duration * 0.4)
+    victim = replicas.primary.replica_id
+    print(f"t={net.now:.2f}s: killing primary {victim} "
+          f"(epoch {replicas.epoch}, {replicas.ship_index} records shipped)")
+    replicas.crash_primary()
+    net.run_for(args.duration * 0.6 + 1.0)
+    for fo in replicas.failovers:
+        print(f"  failover -> epoch {fo.epoch}: {fo.from_replica} -> "
+              f"{fo.to_replica} in {fo.duration * 1000:.0f} ms "
+              f"(orphans rolled back: {fo.orphan_txns}, "
+              f"tail replayed: {fo.replayed_records})")
+    divergence = replicas.divergence()
+    up = churn.up_hosts() if churn else sorted(net.hosts)
+    pairs = [(a, b) for a in up for b in up if a != b]
+    print(f"  primary now:    {replicas.primary.replica_id} "
+          f"(epoch {replicas.epoch})")
+    print(f"  fenced writes:  {replicas.fence.fenced_writes}")
+    print(f"  divergence:     {divergence} rule(s)")
+    if churn:
+        print(f"  host churn:     {churn.leaves} leaves, {churn.joins} joins")
+    print(f"  apps alive:     {', '.join(replicas.runtime.live_apps())}")
+    print(f"  reachability:   {net.reachability(pairs=pairs, wait=1.0):.0%}")
+    return 0 if (replicas.failovers and divergence == 0) else 1
+
+
 def cmd_trace(args) -> int:
     """Run the quickstart scenario with tracing enabled; print the
     per-seam span summary and optionally save the full trace."""
@@ -177,6 +229,59 @@ def cmd_trace(args) -> int:
     if args.out:
         write_trace(args.out, telemetry, fmt=args.format)
         print(f"trace ({args.format}) written to {args.out}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the quickstart scenario with tracing on, then keep serving
+    its metrics over HTTP (/metrics, /healthz, /trace.json)."""
+    import time
+
+    from repro.apps import LearningSwitch
+    from repro.core.runtime import LegoSDNRuntime
+    from repro.faults import crash_on
+    from repro.network.net import Network
+    from repro.telemetry import Telemetry
+    from repro.telemetry.serve import MetricsServer
+    from repro.workloads.traffic import inject_marker_packet
+
+    telemetry = Telemetry(enabled=True,
+                          flight_capacity=args.flight_capacity)
+    net = Network(_build_topology(args.topology, args.size),
+                  seed=args.seed, telemetry=telemetry)
+    runtime = LegoSDNRuntime(net.controller)
+    runtime.launch_app(crash_on(LearningSwitch(), payload_marker="BOOM"))
+    net.start()
+    net.run_for(1.5)
+    net.reachability()
+    hosts = sorted(net.hosts)
+    if len(hosts) >= 2:
+        net.run_for(LearningSwitch.IDLE_TIMEOUT + 1.0)
+        inject_marker_packet(net, hosts[0], hosts[-1], "BOOM")
+        net.run_for(2.0)
+
+    def health() -> str:
+        status = "up" if runtime.is_up else "down"
+        return (f"controller={status} sim_time={net.now:.2f}s "
+                f"apps={len(runtime.live_apps())}")
+
+    server = MetricsServer(telemetry, port=args.port, health=health)
+    server.start()
+    print(f"serving telemetry on {server.url}")
+    print(f"  {server.url}/metrics     (Prometheus text)")
+    print(f"  {server.url}/healthz")
+    print(f"  {server.url}/trace.json")
+    try:
+        if args.linger is not None:
+            time.sleep(args.linger)
+        else:
+            print("press Ctrl-C to stop")
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -245,6 +350,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--size", type=int, default=3)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_flight_args(p):
+        p.add_argument("--flight-records", "--flight-capacity",
+                       dest="flight_capacity", type=_positive_int,
+                       default=128, metavar="N",
+                       help="flight-recorder ring size (default 128)")
+
     p_demo = sub.add_parser("demo", help=cmd_demo.__doc__)
     add_topo_args(p_demo)
     p_demo.set_defaults(func=cmd_demo)
@@ -265,17 +376,41 @@ def build_parser() -> argparse.ArgumentParser:
                               "(legosdn runtime only)")
     p_drill.set_defaults(func=cmd_drill)
 
+    p_repl = sub.add_parser("replicate", help=cmd_replicate.__doc__)
+    add_topo_args(p_repl)
+    add_flight_args(p_repl)
+    p_repl.add_argument("--backups", type=_positive_int, default=1,
+                        help="warm backup controllers (default 1)")
+    p_repl.add_argument("--lease", type=float, default=0.2,
+                        help="heartbeat lease timeout, sim seconds "
+                             "(default 0.2)")
+    p_repl.add_argument("--duration", type=float, default=6.0)
+    p_repl.add_argument("--rate", type=float, default=50.0,
+                        help="traffic rate, packets/s (default 50)")
+    p_repl.add_argument("--churn", type=float, default=1.0,
+                        help="host churn rate, events/s (default 1; 0 off)")
+    p_repl.set_defaults(func=cmd_replicate)
+
     p_trace = sub.add_parser("trace", help=cmd_trace.__doc__)
     add_topo_args(p_trace)
+    add_flight_args(p_trace)
     p_trace.add_argument("--no-crash", dest="crash", action="store_false",
                          help="skip the injected app crash (healthy trace)")
     p_trace.add_argument("--out", help="write the full trace here")
     p_trace.add_argument("--format", choices=("json", "prom"),
                          default="json",
                          help="output format for --out (default json)")
-    p_trace.add_argument("--flight-capacity", type=_positive_int, default=128,
-                         help="flight-recorder ring size (default 128)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser("serve", help=cmd_serve.__doc__)
+    add_topo_args(p_serve)
+    add_flight_args(p_serve)
+    p_serve.add_argument("--port", type=int, default=9464,
+                         help="listen port (default 9464; 0 = ephemeral)")
+    p_serve.add_argument("--linger", type=float, default=None,
+                         help="serve for this many wall seconds then exit "
+                              "(default: until Ctrl-C)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_bugs = sub.add_parser("bug-study", help=cmd_bug_study.__doc__)
     p_bugs.add_argument("--count", type=int, default=100)

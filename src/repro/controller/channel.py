@@ -53,8 +53,13 @@ class ControlChannel:
         # session was up is already on the wire and will land even if
         # the controller process dies meanwhile -- that is exactly how
         # partially installed policies outlive an app crash (§3.4).
+        # Writes are stamped with the sender's replication epoch at
+        # delivery time, so a fenced switch can reject a stale primary
+        # even when the datagram was emitted before the failover.
         if self.switch.up:
-            self.switch.handle_message(msg)
+            self.switch.handle_message(
+                msg, epoch=getattr(self.controller, "epoch", None)
+            )
 
     def disconnect(self) -> None:
         """Tear the session down (switch died or controller crashed)."""

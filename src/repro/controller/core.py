@@ -69,6 +69,11 @@ class Controller:
         self.telemetry = telemetry or Telemetry()
         self.telemetry.bind_clock(lambda: self.sim.now)
         self.control_delay = control_delay
+        #: Replication epoch this controller believes it is serving in.
+        #: Single-controller deployments stay at 0 forever; a ReplicaSet
+        #: bumps it on every failover, and switches fence out writes
+        #: carrying a stale epoch (no split brain).
+        self.epoch = 0
         self.channels: Dict[int, ControlChannel] = {}
         self.listeners: List[ListenerReg] = []
         self.crashed = False
@@ -156,7 +161,8 @@ class Controller:
         type_name = event.type_name
         tracer = self.telemetry.tracer
         if tracer.enabled:
-            with tracer.span("controller.dispatch", event=type_name):
+            with tracer.span("controller.dispatch", event=type_name,
+                             epoch=self.epoch):
                 self._deliver(event, type_name)
         else:
             self._deliver(event, type_name)
@@ -210,7 +216,8 @@ class Controller:
         tracer = self.telemetry.tracer
         if tracer.enabled:
             tracer.event("controller.crash", culprit=culprit,
-                         exception=f"{type(exc).__name__}: {exc}")
+                         exception=f"{type(exc).__name__}: {exc}",
+                         epoch=self.epoch)
         self.crash_records.append(
             CrashRecord(
                 time=self.sim.now,

@@ -172,6 +172,9 @@ class AppVisorProxy:
             self.manager.note_switch_reset(event.dpid)
         # Counter-cache patching: apps observe corrected statistics.
         if isinstance(event, FlowStatsReply):
+            # Raw counters first: the shadow reconciles against what the
+            # switch actually reported, not the cache-corrected view.
+            self.manager.note_flow_stats(event)
             event = self.manager.counter_cache.patch_flow_stats(event)
         for record in self.apps.values():
             if type_name not in record.subscriptions:
@@ -188,6 +191,32 @@ class AppVisorProxy:
         endpoint = channel.proxy_end
         endpoint.on_frame(lambda frame: self.on_frame(endpoint, frame))
         stub.connect(channel.stub_end)
+
+    def adopt_stub(self, stub, channel) -> None:
+        """Take over an already-running stub (controller failover).
+
+        Unlike :meth:`attach_stub`, the app is not started again: the
+        stub keeps its state, checkpoints, and journal, re-registers
+        with this proxy, and resumes seq numbering where it stopped.
+        """
+        endpoint = channel.proxy_end
+        endpoint.on_frame(lambda frame: self.on_frame(endpoint, frame))
+        stub.reattach(channel.stub_end)
+
+    def shutdown(self) -> None:
+        """Permanently detach this proxy (its controller died).
+
+        Stops the detection tick and forgets every app so the dead
+        deployment can never send restore traffic to stubs that have
+        since re-attached to a promoted backup's proxy.
+        """
+        self._stop_tick()
+        for record in self.apps.values():
+            self.detector.forget(record.name)
+        self.apps.clear()
+        if self._listener_registered and not self.controller.crashed:
+            self.controller.unregister_listener(self.LISTENER_NAME)
+            self._listener_registered = False
 
     # -- frame handling ------------------------------------------------------------
 
@@ -220,6 +249,7 @@ class AppVisorProxy:
             subscriptions=frozenset(frame.subscriptions),
             endpoint=endpoint,
             supports_deep_restore=frame.supports_deep_restore,
+            last_seq=frame.resume_from_seq,
         )
         self.apps[frame.app_name] = record
         self.detector.register(frame.app_name, self.sim.now)

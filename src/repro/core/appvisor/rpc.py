@@ -47,6 +47,12 @@ class Register:
     #: Whether the stub can run STS deep restores (it has a replica
     #: factory for probe runs).
     supports_deep_restore: bool = False
+    #: Highest event seq this stub has already been delivered.  0 for a
+    #: fresh launch; a stub re-registering with a promoted backup after
+    #: a controller failover passes its last seq so the new proxy
+    #: continues numbering instead of colliding with the stub's
+    #: journal/checkpoint history.
+    resume_from_seq: int = 0
 
 
 @register_dataclass

@@ -133,6 +133,29 @@ class AppVisorStub:
             self.heartbeat_interval, self._heartbeat
         )
 
+    def reattach(self, endpoint) -> None:
+        """Re-register with a new proxy after a controller failover.
+
+        The stub (and the app inside it) survives the primary's death:
+        state, checkpoints, and journal are kept, and the Register frame
+        carries ``resume_from_seq`` so the new proxy continues the seq
+        numbering where the old one stopped.  The app is NOT restarted
+        -- that is the whole point of decoupling its fate from the
+        controller's.
+        """
+        self.endpoint = endpoint
+        endpoint.on_frame(self._on_frame)
+        # Resume past every seq this stub has ever seen, including
+        # events still waiting out a checkpoint freeze.
+        resume = max(self.current_seq, self.last_seq_done,
+                     max(self._pending_process, default=0))
+        endpoint.send(rpc.Register(
+            app_name=self.app.name,
+            subscriptions=tuple(self.app.subscriptions),
+            supports_deep_restore=self.replica_factory is not None,
+            resume_from_seq=resume,
+        ))
+
     def shutdown(self) -> None:
         if self._stop_heartbeat is not None:
             self._stop_heartbeat()

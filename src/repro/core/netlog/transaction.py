@@ -28,7 +28,7 @@ from typing import Dict, List, Optional
 
 from repro.core.netlog.counter_cache import CounterCache
 from repro.core.netlog.log import NetLogRecord, WriteAheadLog
-from repro.openflow.flowtable import FlowTable
+from repro.openflow.flowtable import FlowEntry, FlowTable
 from repro.openflow.inversion import invert
 from repro.openflow.match import Match
 from repro.openflow.messages import FlowMod, FlowModCommand, Message
@@ -71,6 +71,12 @@ class TransactionManager:
         self.open_txns: Dict[int, Transaction] = {}
         self.committed = 0
         self.aborted = 0
+        #: Replication hooks.  ``on_apply(txn, record)`` fires for every
+        #: WAL append; ``on_resolve(txn, outcome)`` fires at commit
+        #: ("commit") or abort ("abort").  The ReplicaSet's log shipper
+        #: subscribes here so backups shadow the NetLog as it grows.
+        self.on_apply: List = []
+        self.on_resolve: List = []
 
     # -- shadow maintenance ------------------------------------------------
 
@@ -98,6 +104,77 @@ class TransactionManager:
     def note_switch_reset(self, dpid: int) -> None:
         """A switch died or rebooted: its tables are empty now."""
         self.shadow[dpid] = FlowTable()
+
+    #: Shadow entries younger than this are never pruned by a stats
+    #: reconcile: the FlowMod that created them may still be in flight
+    #: to the switch, so their absence from a reply proves nothing.
+    STATS_GRACE = 0.05
+
+    def note_flow_stats(self, reply) -> None:
+        """Reconcile the shadow with a flow-stats reply from the switch.
+
+        The controller never sees data-plane hits, so shadow idle
+        clocks drift: lazy expiry can drop an entry that live traffic
+        is keeping alive on the real switch, and conversely a rule the
+        switch swept (without OFPFF_SEND_FLOW_REM) lingers in the
+        shadow forever.  Stats polling is the control plane's window
+        onto switch truth -- the same reconciliation a production
+        flow-rule store runs.  Three rules:
+
+        - a counter advance proves activity: refresh the idle clock;
+        - a reported rule missing from the shadow is re-adopted
+          (it was prematurely expired here);
+        - a shadow rule the switch no longer reports is dropped,
+          unless it was written within :data:`STATS_GRACE` and may
+          simply not have reached the switch yet.
+        """
+        now = self.sim.now
+        table = self.shadow.get(reply.dpid)
+        if table is None:
+            table = self.shadow[reply.dpid] = FlowTable()
+        reported_ids = set()
+        for stat in reply.entries:
+            entry = next(
+                (e for e in table.entries
+                 if e.same_rule(stat.match, stat.priority)), None)
+            if entry is None:
+                entry = FlowEntry(
+                    match=stat.match,
+                    priority=stat.priority,
+                    actions=stat.actions,
+                    idle_timeout=stat.idle_timeout,
+                    hard_timeout=stat.hard_timeout,
+                    cookie=stat.cookie,
+                    installed_at=now - stat.duration,
+                    last_hit_at=now,
+                    packet_count=stat.packet_count,
+                    byte_count=stat.byte_count,
+                )
+                table._insert_sorted(entry)
+            else:
+                if stat.packet_count > entry.packet_count:
+                    entry.last_hit_at = now
+                entry.packet_count = stat.packet_count
+                entry.byte_count = stat.byte_count
+            reported_ids.add(id(entry))
+        cutoff = now - self.STATS_GRACE
+        table.entries = [
+            e for e in table.entries
+            if id(e) in reported_ids or e.installed_at >= cutoff
+        ]
+
+    def adopt_shadow(self, tables: Dict[int, FlowTable]) -> None:
+        """Seed the shadow from a replicated copy (controller failover).
+
+        A promoted backup replayed the shipped NetLog into its own
+        tables; adopting them gives the new primary's NetLog the same
+        pre-state the old primary had, so inversions computed after the
+        failover stay exact.
+        """
+        self.shadow = {
+            dpid: FlowTable(entries=table.snapshot())
+            for dpid, table in tables.items()
+        }
 
     # -- transaction lifecycle ------------------------------------------------
 
@@ -139,6 +216,8 @@ class TransactionManager:
         self.wal.append(record)
         txn.records.append(record)
         self.controller.send_to_switch(dpid, msg)
+        for callback in self.on_apply:
+            callback(txn, record)
 
     def commit(self, txn: Transaction) -> None:
         """Make the transaction's effects permanent."""
@@ -162,6 +241,8 @@ class TransactionManager:
             ):
                 for cr in record.counter_records:
                     self.counter_cache.forget(cr.dpid, cr.match, cr.priority)
+        for callback in self.on_resolve:
+            callback(txn, "commit")
 
     def abort(self, txn: Transaction) -> int:
         """Undo everything: inverses in reverse order, counters cached.
@@ -189,6 +270,8 @@ class TransactionManager:
                 app=txn.app_name, outcome="rollback", ops=txn.size,
                 inverses_sent=sent,
             )
+        for callback in self.on_resolve:
+            callback(txn, "abort")
         return sent
 
     # -- byzantine-check support ----------------------------------------------

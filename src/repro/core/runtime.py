@@ -116,6 +116,22 @@ class LegoSDNRuntime:
         self.channels[app.name] = channel
         return stub
 
+    def adopt_app(self, stub: AppVisorStub, channel: UdpChannel) -> AppVisorStub:
+        """Adopt an already-running stub after a controller failover.
+
+        The app inside the stub keeps its state and checkpoint history;
+        only the proxy side is new.  Used by
+        :class:`repro.replication.ReplicaSet` when a promoted backup's
+        runtime takes over the old primary's apps.
+        """
+        name = stub.app.name
+        if name in self.stubs:
+            raise ValueError(f"app {name!r} already hosted here")
+        self.proxy.adopt_stub(stub, channel)
+        self.stubs[name] = stub
+        self.channels[name] = channel
+        return stub
+
     # -- accessors ------------------------------------------------------------
 
     def app(self, name: str) -> SDNApp:

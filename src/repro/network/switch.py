@@ -71,6 +71,12 @@ class Switch:
         self.port_counters: Dict[int, PortCounters] = {}
         self.up = True
         self.channel = None  # set by the controller on connect
+        #: Optional epoch fence (repro.replication.fence.EpochFence).
+        #: When installed, controller writes carrying a stale epoch are
+        #: rejected -- the split-brain guard for replicated control
+        #: planes.  None (the default) accepts every write.
+        self.fence = None
+        self.fenced_writes = 0
         self.packet_ins_sent = 0
         self.messages_handled = 0
         self.buffer_packets = buffer_packets
@@ -169,9 +175,20 @@ class Switch:
 
     # -- control plane -----------------------------------------------------
 
-    def handle_message(self, msg) -> None:
-        """Process one controller->switch message."""
+    def handle_message(self, msg, epoch=None) -> None:
+        """Process one controller->switch message.
+
+        ``epoch`` is the sending controller's replication epoch (None
+        for unreplicated deployments and direct test calls).  A fenced
+        switch silently discards writes from a superseded epoch: the
+        old primary's session token is no longer honoured, so a stale
+        primary cannot mutate switch state after a failover.
+        """
         if not self.up:
+            return
+        if self.fence is not None and not self.fence.permits(epoch):
+            self.fenced_writes += 1
+            self.fence.note_rejected(self.dpid, msg, epoch)
             return
         self.messages_handled += 1
         if isinstance(msg, FlowMod):

@@ -1,0 +1,56 @@
+"""Controller replication: primary-backup HA via NetLog shipping.
+
+LegoSDN removes the SDN-App <-> controller fate-sharing; this package
+removes the controller itself as a single point of failure, in the
+SMaRtLight style (a small primary-backup replicated control plane with
+a lease-based failure detector and fencing).
+
+One :class:`~repro.replication.replicaset.ReplicaSet` runs a primary
+:class:`~repro.controller.core.Controller` (with its LegoSDN runtime)
+plus N warm backups on the same simulated clock:
+
+- the primary ships every committed NetLog record and per-app progress
+  deltas to the backups over the stack's existing byte-codec UDP
+  channel (:mod:`repro.replication.frames` adds the frame inventory);
+- backups replay committed records into shadow flow tables, so each
+  holds a consistent copy of the network state the primary installed;
+- a heartbeat/lease protocol with monotonic epoch numbers detects
+  primary failure; the lowest-id live backup is promoted, the new
+  epoch fences the old one at every switch
+  (:class:`~repro.replication.fence.EpochFence` -- stale-primary
+  writes are rejected, so no split brain), orphaned open transactions
+  are rolled back from their shipped inverses, and the NetLog tail is
+  replayed to converge before dispatch resumes;
+- AppVisor stubs survive the failover and re-attach to the new
+  primary's proxy with their state and checkpoints intact -- Crash-Pad
+  keeps handling *app* failures unchanged on whichever replica is
+  primary.
+"""
+
+from repro.replication.fence import EpochFence
+from repro.replication.frames import (
+    AppDelta,
+    RecordShip,
+    ReplAck,
+    ReplHeartbeat,
+    TxnResolve,
+)
+from repro.replication.replicaset import (
+    ControllerReplica,
+    FailoverRecord,
+    ReplicaRole,
+    ReplicaSet,
+)
+
+__all__ = [
+    "AppDelta",
+    "ControllerReplica",
+    "EpochFence",
+    "FailoverRecord",
+    "RecordShip",
+    "ReplAck",
+    "ReplHeartbeat",
+    "ReplicaRole",
+    "ReplicaSet",
+    "TxnResolve",
+]

@@ -1,0 +1,112 @@
+"""The primary->backup replication wire protocol.
+
+These frames extend the AppVisor RPC inventory
+(:mod:`repro.core.appvisor.rpc`) with a second, controller-to-controller
+conversation carried over the same byte codec and
+:class:`~repro.core.appvisor.channel.UdpChannel` plumbing, so shipping
+a NetLog record has a real, measurable wire cost just like delivering
+an event to an app.
+
+Frame inventory (direction):
+
+=============  ===============  ==========================================
+Frame          Direction        Purpose
+=============  ===============  ==========================================
+RecordShip     primary->backup  one WAL append (message + its inverses)
+TxnResolve     primary->backup  a transaction committed or aborted
+ReplHeartbeat  primary->backup  lease renewal + log position + app deltas
+ReplAck        backup->primary  cumulative ack of the applied log prefix
+=============  ===============  ==========================================
+
+Records ship on WAL *apply* but backups fold them into their shadow
+flow tables only at commit-resolve, using the shipped ``applied_at``
+timestamp -- so a backup's shadow is byte-for-byte the state the
+primary's NetLog committed, never a half-applied transaction.  Records
+of transactions still open when the primary dies are the *orphans* the
+promoted backup rolls back from their shipped inverses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.openflow.serialization import register_dataclass
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class AppDelta:
+    """Per-app progress snapshot piggybacked on heartbeats.
+
+    This is the "app-checkpoint delta": enough for a promoted backup to
+    know how far each hosted app had progressed (the stub itself keeps
+    the actual checkpoints -- stubs survive controller failover).
+    """
+
+    app_name: str
+    last_seq: int
+    events_completed: int
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class RecordShip:
+    """One NetLog WAL append, shipped as it happens.
+
+    ``index`` is the primary's monotonically increasing shipping
+    sequence (gap detection); ``inverses`` ride along so a backup can
+    roll back *orphaned* transactions on the real switches without
+    re-deriving the inversion (whose pre-state it may not have seen).
+    """
+
+    epoch: int
+    index: int
+    txn_id: int
+    app_name: str
+    dpid: int
+    message: object
+    inverses: Tuple[object, ...]
+    applied_at: float
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class TxnResolve:
+    """A shipped transaction's fate: ``outcome`` is "commit" or "abort".
+
+    On commit the backup folds the transaction's records into its
+    shadow tables; on abort it just discards them (the primary already
+    sent the inverses to the switches itself).
+    """
+
+    epoch: int
+    txn_id: int
+    outcome: str
+    log_index: int
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class ReplHeartbeat:
+    """Lease renewal from the primary.
+
+    ``log_index`` is the highest shipping sequence sent so far, so a
+    backup can detect that it missed records even across an otherwise
+    quiet period.  ``sent_at`` is the primary's sim-clock send time.
+    """
+
+    epoch: int
+    log_index: int
+    sent_at: float
+    app_deltas: Tuple[AppDelta, ...] = ()
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class ReplAck:
+    """Backup's cumulative acknowledgement (flow-control/telemetry)."""
+
+    replica_id: str
+    epoch: int
+    log_index: int

@@ -1,0 +1,625 @@
+"""The replica set: one primary controller, N warm backups, failover.
+
+Modelled on SMaRtLight's primary-backup design: a single controller
+serves the network at any time; backups stay warm by consuming the
+primary's shipped NetLog records; a lease-based failure detector
+promotes the lowest-id live backup when the primary goes silent.  Every
+promotion advances a monotonic *epoch* that fences the previous primary
+out of the switches (:mod:`repro.replication.fence`), so even a primary
+that is partitioned -- alive, but unheard -- cannot mutate network
+state after it has been superseded.
+
+Division of labour with the rest of LegoSDN: Crash-Pad still handles
+*SDN-App* failures on whichever replica is primary (nothing in the
+recovery path changes); the ReplicaSet handles *controller* failures,
+which previously required a cold reboot and lost all app state.  The
+AppVisor stubs -- separate fault domains by construction -- survive the
+controller's death and re-attach to the promoted backup's proxy with
+their checkpoints and journals intact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.controller.core import Controller
+from repro.core.runtime import LegoSDNRuntime
+from repro.core.appvisor.channel import UdpChannel
+from repro.openflow.flowtable import FlowTable
+from repro.openflow.messages import FlowStatsRequest
+from repro.replication.fence import EpochFence
+from repro.replication.frames import (
+    AppDelta,
+    RecordShip,
+    ReplAck,
+    ReplHeartbeat,
+    TxnResolve,
+)
+from repro.telemetry import Telemetry
+
+
+class ReplicaRole(enum.Enum):
+    PRIMARY = "primary"
+    BACKUP = "backup"
+    DEAD = "dead"
+
+
+@dataclass
+class ControllerReplica:
+    """One controller instance in the set, plus its replication state."""
+
+    replica_id: str
+    controller: Controller
+    telemetry: Telemetry
+    role: ReplicaRole
+    #: The serving runtime (primary only; None while a warm backup).
+    runtime: Optional[LegoSDNRuntime] = None
+    #: Replication channel to the current primary (backups only).
+    channel: Optional[UdpChannel] = None
+    #: Committed NetLog records, in fold order (the replayable tail).
+    log: List[RecordShip] = field(default_factory=list)
+    #: Shipped records of transactions not yet resolved -- the orphans
+    #: a promotion must roll back if the primary dies mid-transaction.
+    open_txns: Dict[int, List[RecordShip]] = field(default_factory=dict)
+    #: Replicated shadow flow tables (committed state only).
+    shadow: Dict[int, FlowTable] = field(default_factory=dict)
+    #: Per-app progress from the latest heartbeat's app deltas.
+    app_progress: Dict[str, AppDelta] = field(default_factory=dict)
+    last_heartbeat: float = 0.0
+    last_ship_index: int = 0
+    ships_received: int = 0
+    #: Frames dropped because they carried a superseded epoch (or
+    #: arrived after this replica stopped being a backup).
+    stale_frames: int = 0
+    #: Primary-side view: highest log index this backup has acked.
+    acked_index: int = 0
+
+    @property
+    def is_live(self) -> bool:
+        return self.role is not ReplicaRole.DEAD and not self.controller.crashed
+
+
+@dataclass
+class FailoverRecord:
+    """One completed failover, for experiment reporting."""
+
+    epoch: int
+    #: Sim time the promotion completed.
+    at: float
+    #: Sim time the old primary was last known good (crash time when
+    #: observed, else its last heartbeat heard by the new primary).
+    down_at: float
+    #: down_at -> promotion: the unavailability window E16 measures.
+    duration: float
+    from_replica: str
+    to_replica: str
+    orphan_txns: int
+    orphan_inverses: int
+    replayed_records: int
+
+
+class ReplicaSet:
+    """Primary-backup controller HA over an existing deployment.
+
+    Wraps a started (or about-to-start) :class:`~repro.network.net.
+    Network` whose controller runs a :class:`~repro.core.runtime.
+    LegoSDNRuntime`, adds ``backups`` warm standby controllers on the
+    same simulated clock, and wires the shipping, lease, and fencing
+    machinery.  ``lease_timeout`` bounds detection: failover time is
+    roughly ``lease_timeout + check_interval`` plus channel delays,
+    which E16 asserts.
+    """
+
+    def __init__(self, net, runtime: LegoSDNRuntime, backups: int = 1,
+                 heartbeat_interval: float = 0.05,
+                 lease_timeout: float = 0.2,
+                 check_interval: float = 0.025,
+                 repl_base_delay: float = 0.0002,
+                 repl_per_byte_delay: float = 2e-8,
+                 replay_window: float = 0.5,
+                 stats_interval: float = 0.25,
+                 seed: int = 0):
+        if backups < 1:
+            raise ValueError("a replica set needs at least one backup")
+        if lease_timeout <= heartbeat_interval:
+            raise ValueError("lease_timeout must exceed heartbeat_interval")
+        self.net = net
+        self.sim = net.sim
+        self.heartbeat_interval = heartbeat_interval
+        self.lease_timeout = lease_timeout
+        self.check_interval = check_interval
+        self.repl_base_delay = repl_base_delay
+        self.repl_per_byte_delay = repl_per_byte_delay
+        self.replay_window = replay_window
+        self.stats_interval = stats_interval
+        self.seed = seed
+        self.epoch = 0
+        self.ship_index = 0
+        self.failovers: List[FailoverRecord] = []
+        self.fence = EpochFence(epoch=0)
+        for switch in net.switches.values():
+            switch.fence = self.fence
+        self._stop_heartbeat = None
+        self._stop_stats = None
+        self._primary_down_at: Optional[float] = None
+        self._partitioned_replica: Optional[ControllerReplica] = None
+
+        primary = ControllerReplica(
+            replica_id="r0",
+            controller=net.controller,
+            telemetry=net.controller.telemetry,
+            role=ReplicaRole.PRIMARY,
+            runtime=runtime,
+        )
+        self.replicas: List[ControllerReplica] = [primary]
+        enabled = primary.telemetry.enabled
+        flight_capacity = getattr(primary.telemetry.recorder, "capacity", 128)
+        discovery_interval = getattr(
+            net.controller.discovery, "interval", 0.5)
+        for i in range(1, backups + 1):
+            replica_id = f"r{i}"
+            telemetry = Telemetry(enabled=enabled,
+                                  flight_capacity=flight_capacity,
+                                  replica_id=replica_id)
+            controller = Controller(
+                self.sim,
+                control_delay=net.controller.control_delay,
+                discovery_interval=discovery_interval,
+                telemetry=telemetry,
+            )
+            self.replicas.append(ControllerReplica(
+                replica_id=replica_id,
+                controller=controller,
+                telemetry=telemetry,
+                role=ReplicaRole.BACKUP,
+            ))
+        for replica in self.replicas[1:]:
+            self._wire_backup(replica)
+        self._install_primary(primary)
+        self._stop_monitor = self.sim.every(check_interval, self._monitor)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def primary(self) -> Optional[ControllerReplica]:
+        for replica in self.replicas:
+            if replica.role is ReplicaRole.PRIMARY:
+                return replica
+        return None
+
+    @property
+    def runtime(self) -> Optional[LegoSDNRuntime]:
+        primary = self.primary
+        return primary.runtime if primary else None
+
+    def replica(self, replica_id: str) -> ControllerReplica:
+        for replica in self.replicas:
+            if replica.replica_id == replica_id:
+                return replica
+        raise KeyError(replica_id)
+
+    def live_backups(self) -> List[ControllerReplica]:
+        return [r for r in self.replicas
+                if r.role is ReplicaRole.BACKUP and r.is_live]
+
+    def backup_lag(self, replica: ControllerReplica) -> int:
+        """Shipped records this backup has not yet received."""
+        return self.ship_index - replica.last_ship_index
+
+    # -- wiring ------------------------------------------------------------
+
+    def _wire_backup(self, replica: ControllerReplica) -> None:
+        """(Re)connect a backup to the current primary.
+
+        Each backup gets its own UDP channel (primary holds the proxy
+        end, the backup the stub end), so shipping a record costs real
+        encoded bytes and channel latency just like delivering an event
+        to an app.  Called again after every failover: the promoted
+        primary opens fresh channels to the surviving backups.
+        """
+        channel = UdpChannel(
+            self.sim,
+            base_delay=self.repl_base_delay,
+            per_byte_delay=self.repl_per_byte_delay,
+            seed=self.seed + int(replica.replica_id[1:]),
+        )
+        channel.stub_end.on_frame(
+            lambda frame, r=replica: self._on_backup_frame(r, frame))
+        channel.proxy_end.on_frame(
+            lambda frame, r=replica: self._on_primary_frame(r, frame))
+        replica.channel = channel
+        # A fresh lease: the backup has "heard from" this primary now.
+        replica.last_heartbeat = self.sim.now
+
+    def _install_primary(self, replica: ControllerReplica) -> None:
+        """Hook shipping + heartbeats into ``replica``'s runtime.
+
+        The shipping closures capture the replica so a superseded
+        primary (demoted, or crashed-then-rebooted) can never ship
+        records into the new epoch: the role check turns its callbacks
+        into no-ops the moment it stops being primary.
+        """
+        replica.telemetry.set_replica(replica.replica_id)
+        replica.controller.epoch = self.epoch
+        manager = replica.runtime.proxy.manager
+
+        def ship(txn, record, replica=replica):
+            if (replica.role is ReplicaRole.PRIMARY
+                    and not replica.controller.crashed
+                    and replica is not self._partitioned_replica):
+                self._ship_record(txn, record)
+
+        def resolve(txn, outcome, replica=replica):
+            if (replica.role is ReplicaRole.PRIMARY
+                    and not replica.controller.crashed
+                    and replica is not self._partitioned_replica):
+                self._ship_resolve(txn, outcome)
+
+        manager.on_apply.append(ship)
+        manager.on_resolve.append(resolve)
+
+        def on_crash(exc, culprit, replica=replica):
+            if (replica.role is ReplicaRole.PRIMARY
+                    and self._primary_down_at is None):
+                self._primary_down_at = self.sim.now
+
+        replica.controller.crash_callbacks.append(on_crash)
+
+        def heartbeat(replica=replica):
+            if (replica.role is ReplicaRole.PRIMARY
+                    and not replica.controller.crashed
+                    and replica is not self._partitioned_replica):
+                self._primary_heartbeat(replica)
+
+        self._stop_heartbeat = self.sim.every(
+            self.heartbeat_interval, heartbeat)
+
+        # Stats polling keeps the NetLog shadow honest: the controller
+        # cannot see data-plane hits, so without the switches' own
+        # reports the shadow's idle clocks drift from reality -- and a
+        # promoted backup would inherit (and compound) that drift.  The
+        # replies reconcile through TransactionManager.note_flow_stats.
+        def poll_stats(replica=replica):
+            if (replica.role is ReplicaRole.PRIMARY
+                    and not replica.controller.crashed
+                    and replica is not self._partitioned_replica):
+                for dpid in sorted(self.net.switches):
+                    if self.net.switches[dpid].up:
+                        replica.controller.send_to_switch(
+                            dpid, FlowStatsRequest())
+
+        if self.stats_interval > 0:
+            self._stop_stats = self.sim.every(
+                self.stats_interval, poll_stats)
+
+    # -- primary side: shipping --------------------------------------------
+
+    def _ship_record(self, txn, record) -> None:
+        self.ship_index += 1
+        frame = RecordShip(
+            epoch=self.epoch,
+            index=self.ship_index,
+            txn_id=txn.txn_id,
+            app_name=txn.app_name,
+            dpid=record.dpid,
+            message=record.message,
+            inverses=tuple(record.inverse_messages),
+            applied_at=record.applied_at,
+        )
+        for replica in self.live_backups():
+            replica.channel.proxy_end.send(frame)
+        primary = self.primary
+        if primary is not None and primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.ships")
+
+    def _ship_resolve(self, txn, outcome: str) -> None:
+        frame = TxnResolve(
+            epoch=self.epoch,
+            txn_id=txn.txn_id,
+            outcome=outcome,
+            log_index=self.ship_index,
+        )
+        for replica in self.live_backups():
+            replica.channel.proxy_end.send(frame)
+
+    def _primary_heartbeat(self, replica: ControllerReplica) -> None:
+        deltas = tuple(
+            AppDelta(app_name=record.name, last_seq=record.last_seq,
+                     events_completed=record.events_completed)
+            for record in replica.runtime.proxy.apps.values()
+        )
+        frame = ReplHeartbeat(
+            epoch=self.epoch,
+            log_index=self.ship_index,
+            sent_at=self.sim.now,
+            app_deltas=deltas,
+        )
+        for backup in self.live_backups():
+            backup.channel.proxy_end.send(frame)
+        if replica.telemetry.enabled:
+            replica.telemetry.metrics.inc("replication.heartbeats")
+
+    def _on_primary_frame(self, replica: ControllerReplica, frame) -> None:
+        """Primary-side receive: cumulative acks from one backup."""
+        if isinstance(frame, ReplAck) and frame.epoch == self.epoch:
+            replica.acked_index = max(replica.acked_index, frame.log_index)
+
+    # -- backup side: the replicated log ------------------------------------
+
+    def _on_backup_frame(self, replica: ControllerReplica, frame) -> None:
+        if (replica.role is not ReplicaRole.BACKUP
+                or getattr(frame, "epoch", self.epoch) < self.epoch):
+            # Late traffic from a superseded epoch, or frames landing on
+            # a replica that has since been promoted (or died).
+            replica.stale_frames += 1
+            return
+        if isinstance(frame, RecordShip):
+            replica.ships_received += 1
+            replica.last_ship_index = max(replica.last_ship_index, frame.index)
+            replica.open_txns.setdefault(frame.txn_id, []).append(frame)
+            if replica.telemetry.enabled:
+                replica.telemetry.metrics.inc("replication.ships_received")
+        elif isinstance(frame, TxnResolve):
+            records = replica.open_txns.pop(frame.txn_id, [])
+            if frame.outcome == "commit":
+                # Fold at commit-resolve, stamping each entry with the
+                # primary's original apply time, so the backup's shadow
+                # is exactly the state the primary's NetLog committed --
+                # never a half-applied transaction.
+                for rec in records:
+                    table = replica.shadow.get(rec.dpid)
+                    if table is None:
+                        table = replica.shadow[rec.dpid] = FlowTable()
+                    table.apply_flow_mod(rec.message, rec.applied_at)
+                replica.log.extend(records)
+            # On abort: discard.  The primary already sent the inverses
+            # to the switches itself, and its own shadow never kept the
+            # aborted writes either.
+        elif isinstance(frame, ReplHeartbeat):
+            replica.last_heartbeat = self.sim.now
+            replica.app_progress = {
+                delta.app_name: delta for delta in frame.app_deltas
+            }
+            replica.channel.stub_end.send(ReplAck(
+                replica_id=replica.replica_id,
+                epoch=self.epoch,
+                log_index=replica.last_ship_index,
+            ))
+
+    # -- failure detection ----------------------------------------------------
+
+    def _candidate(self) -> Optional[ControllerReplica]:
+        """Deterministic election: the lowest-id live backup."""
+        backups = self.live_backups()
+        return backups[0] if backups else None
+
+    def _monitor(self) -> None:
+        """The lease check, run on the simulated clock.
+
+        The candidate backup watches its own heartbeat stream: once the
+        primary has been silent past the lease, the candidate promotes
+        itself.  Election is deterministic (lowest live id), so no
+        coordination round is needed -- SMaRtLight similarly relies on
+        its coordination service to serialise who may be active.
+        """
+        candidate = self._candidate()
+        if candidate is None or self.primary is None:
+            return
+        silent_for = self.sim.now - candidate.last_heartbeat
+        if silent_for > self.lease_timeout:
+            self._failover(candidate)
+
+    # -- fault injection (experiments) ----------------------------------------
+
+    def crash_primary(self, reason: str = "injected controller fault") -> None:
+        """Kill the primary's controller process (E16's fault)."""
+        self.primary.controller.crash(RuntimeError(reason),
+                                      culprit="fault-injection")
+
+    def partition_primary(self) -> None:
+        """Cut the primary off from the backups without killing it.
+
+        The primary keeps running -- and keeps believing it is primary
+        -- but its heartbeats and ships no longer reach anyone, so the
+        lease expires and a backup takes over.  This is the split-brain
+        scenario the epoch fence exists for: the partitioned ex-primary
+        can still *send* to switches, but its writes carry a superseded
+        epoch and are rejected.
+        """
+        self._partitioned_replica = self.primary
+
+    # -- failover ----------------------------------------------------------------
+
+    def _failover(self, candidate: ControllerReplica) -> None:
+        old = self.primary
+        now = self.sim.now
+        down_at = (self._primary_down_at
+                   if self._primary_down_at is not None
+                   else candidate.last_heartbeat)
+        old.role = ReplicaRole.DEAD
+        old_runtime = old.runtime
+        # The dead deployment must never again talk to the stubs (a
+        # late detector tick sending RestoreCommands would corrupt apps
+        # that have re-attached elsewhere).
+        old_runtime.proxy.shutdown()
+        if self._stop_heartbeat is not None:
+            self._stop_heartbeat()
+            self._stop_heartbeat = None
+        if self._stop_stats is not None:
+            self._stop_stats()
+            self._stop_stats = None
+
+        # 1. Advance the epoch and fence the old one out of every
+        # switch BEFORE the new primary exists: from this instant the
+        # old primary's writes -- even ones already in flight -- are
+        # rejected at delivery.
+        self.epoch += 1
+        self.fence.advance(self.epoch)
+        candidate.role = ReplicaRole.PRIMARY
+        candidate.controller.epoch = self.epoch
+
+        # 2. Take over the switch sessions.  connect_switch repoints
+        # each switch's control channel, so switch->controller traffic
+        # flows to the new primary from here on.
+        for dpid in sorted(self.net.switches):
+            switch = self.net.switches[dpid]
+            if switch.up:
+                candidate.controller.connect_switch(switch)
+
+        # 3. A fresh runtime with the old deployment's configuration,
+        # seeded with the replicated shadow so post-failover inversions
+        # see the same pre-state the old primary saw.
+        runtime = LegoSDNRuntime(
+            candidate.controller,
+            mode=old_runtime.mode,
+            policy_table=old_runtime.crashpad.policy_table,
+            byzantine_check=old_runtime.proxy.byzantine_check,
+            shutdown_on_critical=old_runtime.proxy.shutdown_on_critical,
+            checkpoint_interval=old_runtime.checkpoint_interval,
+            heartbeat_interval=old_runtime.heartbeat_interval,
+            channel_base_delay=old_runtime.channel_base_delay,
+            channel_per_byte_delay=old_runtime.channel_per_byte_delay,
+            channel_loss=old_runtime.channel_loss,
+            checkpoint_base_cost=old_runtime.checkpoint_base_cost,
+            checkpoint_per_byte_cost=old_runtime.checkpoint_per_byte_cost,
+            parallel_lanes=old_runtime.proxy.parallel_lanes,
+            seed=old_runtime.seed,
+        )
+        candidate.runtime = runtime
+        manager = runtime.proxy.manager
+        manager.adopt_shadow(candidate.shadow)
+
+        # 4. Converge: replay the committed tail (idempotent FlowMods
+        # re-assert recent state on the switches), then roll back the
+        # orphans -- transactions the old primary opened but never
+        # resolved -- from their shipped inverses, newest first.
+        replayed = 0
+        if self.replay_window > 0:
+            cutoff = now - self.replay_window
+            for ship in candidate.log:
+                if ship.applied_at >= cutoff:
+                    candidate.controller.send_to_switch(
+                        ship.dpid, ship.message)
+                    replayed += 1
+        orphan_txns = len(candidate.open_txns)
+        orphan_inverses = 0
+        for txn_id in sorted(candidate.open_txns, reverse=True):
+            for ship in reversed(candidate.open_txns[txn_id]):
+                for inverse in ship.inverses:
+                    manager.shadow_table(ship.dpid).apply_flow_mod(
+                        inverse, now)
+                    candidate.controller.send_to_switch(ship.dpid, inverse)
+                    orphan_inverses += 1
+        candidate.open_txns.clear()
+
+        # 5. The stubs survived; adopt them.  Each re-registers with
+        # the new proxy over its existing channel, resuming its seq
+        # numbering so checkpoints and journals stay coherent.
+        for name, stub in old_runtime.stubs.items():
+            runtime.adopt_app(stub, old_runtime.channels[name])
+
+        # 6. Resume dispatch (discovery + SwitchJoin announcements) and
+        # become the shipping source for the surviving backups.
+        candidate.controller.start()
+        for replica in self.replicas:
+            if replica.role is ReplicaRole.BACKUP:
+                self._wire_backup(replica)
+        self._install_primary(candidate)
+
+        duration = now - down_at
+        record = FailoverRecord(
+            epoch=self.epoch,
+            at=now,
+            down_at=down_at,
+            duration=duration,
+            from_replica=old.replica_id,
+            to_replica=candidate.replica_id,
+            orphan_txns=orphan_txns,
+            orphan_inverses=orphan_inverses,
+            replayed_records=replayed,
+        )
+        self.failovers.append(record)
+        self._primary_down_at = None
+        if self._partitioned_replica is old:
+            self._partitioned_replica = None
+        if candidate.telemetry.enabled:
+            candidate.telemetry.tracer.record_span(
+                "replication.failover", start=down_at,
+                epoch=self.epoch,
+                from_replica=old.replica_id,
+                to_replica=candidate.replica_id,
+                orphan_txns=orphan_txns,
+                replayed=replayed,
+            )
+            candidate.telemetry.metrics.inc("replication.failovers")
+            candidate.telemetry.metrics.observe(
+                "replication.failover_time", duration)
+
+    # -- consistency measurement ------------------------------------------------
+
+    def divergence(self) -> int:
+        """Rule-set disagreement between the primary's NetLog shadow and
+        the real switches: the size of the symmetric difference of
+        (match, priority, actions) rule identities, summed over live
+        switches.  E16 asserts this is 0 shortly after a failover.
+
+        The controller's shadow cannot observe data-plane hits, so the
+        comparison first runs an instantaneous stats reconcile (the
+        same :meth:`~repro.core.netlog.transaction.TransactionManager.
+        note_flow_stats` pass the primary's periodic poll runs, minus
+        the channel latency), syncs each surviving shadow entry's idle
+        clock to its real counterpart's (traffic keeping a rule alive
+        is not divergence) and expires both sides at the current sim
+        time; what remains is genuine disagreement -- rules one side
+        has and the other does not."""
+        primary = self.primary
+        if primary is None or primary.runtime is None:
+            return -1
+        manager = primary.runtime.proxy.manager
+        now = self.sim.now
+        total = 0
+        for dpid in sorted(self.net.switches):
+            switch = self.net.switches[dpid]
+            if not switch.up:
+                continue
+            switch.sweep_flows()
+            manager.note_flow_stats(switch._flow_stats(FlowStatsRequest()))
+            shadow = manager.shadow.get(dpid)
+            if shadow is not None:
+                for entry in shadow.entries:
+                    for real_entry in switch.flow_table.entries:
+                        if real_entry.same_rule(entry.match, entry.priority):
+                            entry.last_hit_at = max(entry.last_hit_at,
+                                                    real_entry.last_hit_at)
+                shadow.expire(now, dpid=dpid)
+            real = {
+                (repr(e.match), e.priority, repr(tuple(e.actions)))
+                for e in switch.flow_table
+            }
+            want = set() if shadow is None else {
+                (repr(e.match), e.priority, repr(tuple(e.actions)))
+                for e in shadow
+            }
+            total += len(real ^ want)
+        return total
+
+    def stats(self) -> Dict[str, object]:
+        """Summary counters for experiment reporting."""
+        return {
+            "epoch": self.epoch,
+            "primary": self.primary.replica_id if self.primary else None,
+            "failovers": len(self.failovers),
+            "shipped": self.ship_index,
+            "fenced_writes": self.fence.fenced_writes,
+            "replicas": {
+                r.replica_id: {
+                    "role": r.role.value,
+                    "ships_received": r.ships_received,
+                    "lag": self.backup_lag(r),
+                    "stale_frames": r.stale_frames,
+                }
+                for r in self.replicas
+            },
+        }

@@ -52,14 +52,17 @@ class Telemetry:
 
     def __init__(self, enabled: bool = False,
                  clock: Optional[Callable[[], float]] = None,
-                 flight_capacity: int = 128, max_spans: int = 20_000):
+                 flight_capacity: int = 128, max_spans: int = 20_000,
+                 replica_id: Optional[str] = None):
         self.enabled = enabled
         self.metrics = MetricsCollector()
         self.recorder = FlightRecorder(capacity=flight_capacity)
+        self.replica_id = replica_id
         if enabled:
             self.tracer: object = Tracer(
                 clock=clock, recorder=self.recorder,
                 metrics=self.metrics, max_spans=max_spans,
+                replica_id=replica_id,
             )
         else:
             self.tracer = NULL_TRACER
@@ -72,6 +75,16 @@ class Telemetry:
         """
         if self.enabled:
             self.tracer.clock = clock
+
+    def set_replica(self, replica_id: str) -> None:
+        """Tag all subsequent spans/events with a controller replica id.
+
+        Replicated deployments (:mod:`repro.replication`) call this so
+        traces from different replicas stay attributable after a merge.
+        """
+        self.replica_id = replica_id
+        if self.enabled:
+            self.tracer.replica_id = replica_id
 
     def flight_dump(self) -> list:
         """The flight recorder's retained events (empty when disabled)."""

@@ -159,7 +159,8 @@ class Tracer:
     enabled = True
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
-                 recorder=None, metrics=None, max_spans: int = 20_000):
+                 recorder=None, metrics=None, max_spans: int = 20_000,
+                 replica_id: Optional[str] = None):
         #: Returns the current (simulated) time; rebindable so the
         #: tracer can be created before the Simulator exists.
         self.clock = clock or (lambda: 0.0)
@@ -168,6 +169,10 @@ class Tracer:
         #: Optional MetricsCollector fed per-span-name latency series.
         self.metrics = metrics
         self.max_spans = max_spans
+        #: Which controller replica produced this trace.  Replicated
+        #: deployments run one tracer per replica; merged dumps stay
+        #: attributable because every span/event carries the id.
+        self.replica_id = replica_id
         self.spans: List[SpanRecord] = []
         self.dropped = 0
         self._stack: List[_ActiveSpan] = []
@@ -196,12 +201,16 @@ class Tracer:
 
     def event(self, name: str, **tags) -> None:
         """Record a point-in-time trace event (no duration)."""
+        if self.replica_id is not None:
+            tags.setdefault("replica", self.replica_id)
         if self.recorder is not None:
             self.recorder.record(self.clock(), "event", name, tags)
         if self.metrics is not None:
             self.metrics.inc(f"trace.events.{name}")
 
     def _finish(self, record: SpanRecord) -> None:
+        if self.replica_id is not None:
+            record.tags.setdefault("replica", self.replica_id)
         if len(self.spans) < self.max_spans:
             self.spans.append(record)
         else:

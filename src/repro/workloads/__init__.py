@@ -1,9 +1,11 @@
-"""Workload generation: traffic and failure schedules."""
+"""Workload generation: traffic, host churn, and failure schedules."""
 
+from repro.workloads.churn import ChurnWorkload
 from repro.workloads.failure import FailureEvent, FailureSchedule
 from repro.workloads.traffic import TrafficWorkload, inject_marker_packet
 
 __all__ = [
+    "ChurnWorkload",
     "FailureEvent",
     "FailureSchedule",
     "TrafficWorkload",

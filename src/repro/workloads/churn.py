@@ -1,0 +1,122 @@
+"""Host churn: hosts joining and leaving at a configurable rate.
+
+Datacenter control planes rarely see a static edge: VMs migrate, ports
+flap, hosts come and go.  Each churn event exercises the control loop
+end to end -- a leave fails the host's access link (PortStatus to the
+controller, topology update, context pushes to every app); a join
+raises it again and sends an announcement packet, so the access switch
+punts a PacketIn and the learning/routing apps re-learn the host.
+
+The E16 failover benchmark runs this during the primary kill: churn
+keeps the NetLog busy (a steady stream of shipped records and
+re-learned flows), which is exactly the regime where log shipping and
+tail replay have to prove themselves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.network.packet import udp_packet
+
+
+class ChurnWorkload:
+    """Flap host access links on a seeded schedule.
+
+    ``rate`` is churn events per simulated second across the whole
+    network (each event toggles one host: up hosts may leave, down
+    hosts rejoin).  ``min_hosts`` caps how many hosts may be down at
+    once, so traffic workloads and reachability probes keep a viable
+    population.
+    """
+
+    def __init__(self, net, rate: float = 2.0,
+                 hosts: Optional[List[str]] = None,
+                 min_hosts: int = 2, fresh_mac: bool = True, seed: int = 0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.net = net
+        self.rate = rate
+        self.rng = random.Random(seed)
+        self.names = hosts or [spec.name for spec in net.topology.hosts]
+        if not self.names:
+            raise ValueError("no hosts to churn")
+        self.min_hosts = min(min_hosts, len(self.names))
+        #: Rejoin with a fresh MAC (a *new* endpoint on the port, as
+        #: when a VM migrates in).  This is what makes churn a control-
+        #: plane workload: stale flows no longer match, so the edge
+        #: must re-learn through the controller -- with the control
+        #: plane dead, rejoined hosts stay dark.
+        self.fresh_mac = fresh_mac
+        #: name -> currently attached?
+        self.attached: Dict[str, bool] = {name: True for name in self.names}
+        self.joins = 0
+        self.leaves = 0
+
+    # -- events ------------------------------------------------------------
+
+    def up_hosts(self) -> List[str]:
+        return [n for n in self.names if self.attached[n]]
+
+    def churn_one(self) -> str:
+        """Toggle one host; returns ``"join:<name>"`` or ``"leave:<name>"``."""
+        down = [n for n in self.names if not self.attached[n]]
+        up = self.up_hosts()
+        # Rejoin pressure grows with the number of departed hosts, and
+        # leaves are forbidden once the population floor is reached.
+        if down and (len(up) <= self.min_hosts
+                     or self.rng.random() < len(down) / len(self.names)):
+            name = self.rng.choice(down)
+            self._join(name)
+            return f"join:{name}"
+        name = self.rng.choice(up)
+        self._leave(name)
+        return f"leave:{name}"
+
+    def _leave(self, name: str) -> None:
+        self.net.host_link(name).set_up(False)
+        self.attached[name] = False
+        self.leaves += 1
+
+    def _join(self, name: str) -> None:
+        self.net.host_link(name).set_up(True)
+        self.attached[name] = True
+        self.joins += 1
+        if self.fresh_mac:
+            host = self.net.hosts[name]
+            idx = self.names.index(name)
+            host.mac = f"02:ch:{idx:02x}:{self.joins % 256:02x}"
+        self._announce(name)
+
+    def _announce(self, name: str) -> None:
+        """A gratuitous hello so the edge re-learns the returning host.
+
+        Sent to another live host (broadcast at L2), mirroring the
+        gratuitous ARP a real machine emits when its link comes up; the
+        table-miss punt is what re-teaches the controller's device
+        manager and the apps.
+        """
+        host = self.net.hosts[name]
+        peers = [n for n in self.up_hosts() if n != name]
+        if not peers:
+            return
+        peer = self.net.hosts[self.rng.choice(peers)]
+        host.send(udp_packet(
+            host.mac, "ff:ff:ff:ff:ff:ff", host.ip, peer.ip,
+            src_port=68, dst_port=67, size=64, payload=f"hello:{name}",
+        ))
+
+    # -- scheduling --------------------------------------------------------
+
+    def start(self, duration: float) -> int:
+        """Schedule ``duration * rate`` churn events, evenly spread.
+
+        The caller still has to run the simulator.  Returns the number
+        of scheduled events.
+        """
+        count = int(duration * self.rate)
+        interval = 1.0 / self.rate
+        for i in range(count):
+            self.net.sim.schedule((i + 1) * interval, self.churn_one)
+        return count

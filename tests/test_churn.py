@@ -1,0 +1,85 @@
+"""Tests for the host-churn workload (repro.workloads.churn)."""
+
+import pytest
+
+from repro.apps import LearningSwitch
+from repro.core.runtime import LegoSDNRuntime
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+from repro.workloads import ChurnWorkload
+
+
+def build(switches=3):
+    net = Network(linear_topology(switches, 1), seed=0)
+    runtime = LegoSDNRuntime(net.controller)
+    runtime.launch_app(LearningSwitch())
+    net.start()
+    net.run_for(1.0)
+    return net, runtime
+
+
+class TestChurnWorkload:
+    def test_rejects_bad_rate(self):
+        net, _ = build()
+        with pytest.raises(ValueError):
+            ChurnWorkload(net, rate=0)
+
+    def test_toggles_are_tracked(self):
+        net, _ = build()
+        churn = ChurnWorkload(net, seed=1)
+        before = set(churn.up_hosts())
+        event = churn.churn_one()
+        kind, name = event.split(":")
+        assert kind in ("join", "leave")
+        after = set(churn.up_hosts())
+        assert before.symmetric_difference(after) == {name} or kind == "join"
+        assert churn.joins + churn.leaves == 1
+
+    def test_population_floor_respected(self):
+        net, _ = build()
+        churn = ChurnWorkload(net, min_hosts=2, seed=0)
+        for _ in range(50):
+            churn.churn_one()
+            assert len(churn.up_hosts()) >= 2
+
+    def test_leave_downs_the_access_link(self):
+        net, _ = build()
+        churn = ChurnWorkload(net, seed=0)
+        churn._leave("h1")
+        assert not net.host_link("h1").up
+        assert "h1" not in churn.up_hosts()
+
+    def test_rejoin_gets_fresh_mac(self):
+        net, _ = build()
+        churn = ChurnWorkload(net, seed=0)
+        old_mac = net.hosts["h1"].mac
+        churn._leave("h1")
+        churn._join("h1")
+        assert net.hosts["h1"].mac != old_mac
+        assert net.host_link("h1").up
+
+    def test_fresh_mac_can_be_disabled(self):
+        net, _ = build()
+        churn = ChurnWorkload(net, fresh_mac=False, seed=0)
+        old_mac = net.hosts["h1"].mac
+        churn._leave("h1")
+        churn._join("h1")
+        assert net.hosts["h1"].mac == old_mac
+
+    def test_start_schedules_rate_times_duration(self):
+        net, _ = build()
+        churn = ChurnWorkload(net, rate=4.0, seed=0)
+        assert churn.start(2.0) == 8
+        net.run_for(2.5)
+        assert churn.joins + churn.leaves == 8
+
+    def test_churned_hosts_relearn_through_controller(self):
+        """After a leave/rejoin with a fresh MAC, reachability recovers
+        -- the rejoined host is re-learned via PacketIn."""
+        net, _ = build()
+        assert net.reachability(wait=0.5) == 1.0
+        churn = ChurnWorkload(net, seed=0)
+        churn._leave("h2")
+        churn._join("h2")
+        net.run_for(0.5)
+        assert net.reachability(wait=0.5) == 1.0

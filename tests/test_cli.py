@@ -21,6 +21,22 @@ class TestParser:
         assert args.topology == "linear"
         assert args.size == 3
 
+    def test_replicate_defaults(self):
+        args = build_parser().parse_args(["replicate"])
+        assert args.backups == 1
+        assert args.lease == 0.2
+        assert args.flight_capacity == 128
+
+    def test_flight_records_flag_and_alias(self):
+        args = build_parser().parse_args(["trace", "--flight-records", "16"])
+        assert args.flight_capacity == 16
+        args = build_parser().parse_args(["serve", "--flight-capacity", "32"])
+        assert args.flight_capacity == 32
+
+    def test_flight_records_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--flight-records", "0"])
+
 
 class TestTopologyBuilder:
     def test_all_names_build(self):
@@ -84,3 +100,42 @@ class TestCommands:
                      "--rate", "20", "--runtime", "monolithic"]) == 0
         out = capsys.readouterr().out
         assert "controller crashes: 0" in out
+
+    def test_replicate_fails_over_cleanly(self, capsys):
+        assert main(["replicate", "--size", "2", "--duration", "4",
+                     "--rate", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "killing primary r0" in out
+        assert "failover -> epoch 1: r0 -> r1" in out
+        assert "divergence:     0 rule(s)" in out
+        assert "apps alive:     learning_switch" in out
+
+    def test_serve_exposes_metrics(self, capsys, monkeypatch):
+        """`repro serve` binds the HTTP endpoint and serves live metrics.
+
+        The probe rides on MetricsServer.start so it runs while the
+        server is up, without threads or sleeps in the test itself."""
+        import urllib.request
+
+        from repro.telemetry.serve import MetricsServer
+
+        captured = {}
+        real_start = MetricsServer.start
+
+        def probing_start(self):
+            real_start(self)
+            with urllib.request.urlopen(self.url + "/metrics",
+                                        timeout=5) as resp:
+                captured["metrics"] = resp.read().decode()
+            with urllib.request.urlopen(self.url + "/healthz",
+                                        timeout=5) as resp:
+                captured["health"] = resp.read().decode()
+            return self
+
+        monkeypatch.setattr(MetricsServer, "start", probing_start)
+        assert main(["serve", "--size", "2", "--port", "0",
+                     "--linger", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "serving telemetry on http://127.0.0.1:" in out
+        assert "repro_" in captured["metrics"]
+        assert "controller=up" in captured["health"]

@@ -176,6 +176,66 @@ class TestShadowTables:
         assert len(manager.shadow_table(1)) == 0
 
 
+def stats_entry(dst="a", priority=100, packet_count=0, duration=0.0,
+                idle_timeout=0.0, actions=(Output(1),)):
+    return FlowStatsEntry(match=Match(eth_dst=dst), priority=priority,
+                          actions=actions, packet_count=packet_count,
+                          byte_count=packet_count * 100, duration=duration,
+                          idle_timeout=idle_timeout, hard_timeout=0.0)
+
+
+class TestStatsReconcile:
+    """note_flow_stats: the stats-polling view of switch truth."""
+
+    def test_counter_advance_refreshes_idle_clock(self, net, manager):
+        txn = manager.begin("app", "t")
+        manager.apply(txn, 1, add_mod("a", idle_timeout=1.0))
+        manager.commit(txn)
+        net.run_for(0.9)  # almost idle-expired in the shadow's view
+        manager.note_flow_stats(FlowStatsReply(dpid=1, entries=[
+            stats_entry("a", packet_count=5, idle_timeout=1.0)]))
+        [entry] = manager.shadow[1].entries
+        assert entry.last_hit_at == net.now
+        assert entry.packet_count == 5
+        net.run_for(0.5)  # would have expired without the refresh
+        assert len(manager.shadow_table(1)) == 1
+
+    def test_quiet_counters_do_not_refresh(self, net, manager):
+        txn = manager.begin("app", "t")
+        manager.apply(txn, 1, add_mod("a", idle_timeout=1.0))
+        manager.commit(txn)
+        [entry] = manager.shadow[1].entries
+        hit_before = entry.last_hit_at
+        manager.note_flow_stats(FlowStatsReply(dpid=1, entries=[
+            stats_entry("a", packet_count=0, idle_timeout=1.0)]))
+        assert entry.last_hit_at == hit_before
+
+    def test_unreported_stale_entry_pruned(self, net, manager):
+        txn = manager.begin("app", "t")
+        manager.apply(txn, 1, add_mod("a"))
+        manager.commit(txn)
+        net.run_for(1.0)  # well past STATS_GRACE
+        manager.note_flow_stats(FlowStatsReply(dpid=1, entries=[]))
+        assert len(manager.shadow_table(1)) == 0
+
+    def test_fresh_entry_survives_empty_report(self, net, manager):
+        """A FlowMod may still be in flight to the switch: its shadow
+        entry is within the grace window and must not be pruned."""
+        txn = manager.begin("app", "t")
+        manager.apply(txn, 1, add_mod("a"))
+        manager.note_flow_stats(FlowStatsReply(dpid=1, entries=[]))
+        assert len(manager.shadow_table(1)) == 1
+
+    def test_reported_unknown_rule_readopted(self, net, manager):
+        manager.note_flow_stats(FlowStatsReply(dpid=1, entries=[
+            stats_entry("ghost", packet_count=3, duration=2.0,
+                        idle_timeout=5.0)]))
+        [entry] = manager.shadow[1].entries
+        assert entry.match == Match(eth_dst="ghost")
+        assert entry.installed_at == pytest.approx(net.sim.now - 2.0)
+        assert entry.packet_count == 3
+
+
 class TestRollbackExecutor:
     def test_rollback_all_reverse_order(self, net, manager):
         executor = RollbackExecutor(manager)

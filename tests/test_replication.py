@@ -1,0 +1,263 @@
+"""Tests for the controller replication layer: log shipping, lease
+failover, epoch fencing, orphan rollback, and stub adoption."""
+
+import pytest
+
+from repro.apps import LearningSwitch
+from repro.core.runtime import LegoSDNRuntime
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+from repro.openflow.actions import Output
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.replication import (
+    EpochFence,
+    RecordShip,
+    ReplicaRole,
+    ReplicaSet,
+)
+from repro.telemetry import Telemetry
+from repro.workloads import TrafficWorkload
+from repro.workloads.traffic import inject_marker_packet
+
+
+def build(backups=1, switches=2, telemetry=None, **kwargs):
+    net = Network(linear_topology(switches, 1), seed=0, telemetry=telemetry)
+    runtime = LegoSDNRuntime(net.controller)
+    replicas = ReplicaSet(net, runtime, backups=backups, **kwargs)
+    runtime.launch_app(LearningSwitch())
+    net.start()
+    net.run_for(1.0)
+    return net, runtime, replicas
+
+
+class TestConstruction:
+    def test_requires_a_backup(self):
+        net = Network(linear_topology(2, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        with pytest.raises(ValueError):
+            ReplicaSet(net, runtime, backups=0)
+
+    def test_lease_must_exceed_heartbeat(self):
+        net = Network(linear_topology(2, 1), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        with pytest.raises(ValueError):
+            ReplicaSet(net, runtime, heartbeat_interval=0.2,
+                       lease_timeout=0.1)
+
+    def test_initial_roles_and_fence(self):
+        net, runtime, replicas = build(backups=2)
+        assert replicas.primary.replica_id == "r0"
+        assert [r.replica_id for r in replicas.live_backups()] == ["r1", "r2"]
+        assert all(s.fence is replicas.fence for s in net.switches.values())
+        assert replicas.epoch == 0
+
+
+class TestShipping:
+    def test_backups_receive_committed_records(self):
+        net, runtime, replicas = build()
+        net.reachability(wait=0.5)  # bidirectional pings install flows
+        net.run_for(1.0)
+        backup = replicas.replica("r1")
+        assert replicas.ship_index > 0
+        assert backup.ships_received == replicas.ship_index
+        assert backup.log, "no committed records folded on the backup"
+        assert not backup.open_txns
+
+    def test_backup_shadow_matches_primary_shadow(self):
+        net, runtime, replicas = build()
+        TrafficWorkload(net, rate=30.0, seed=0).start(2.0)
+        net.run_for(3.0)  # includes settle time past the last ship
+        backup = replicas.replica("r1")
+        manager = runtime.proxy.manager
+        for dpid, table in manager.shadow.items():
+            want = {(repr(e.match), e.priority, repr(tuple(e.actions)))
+                    for e in table}
+            got = {(repr(e.match), e.priority, repr(tuple(e.actions)))
+                   for e in backup.shadow.get(dpid, ())}
+            assert got == want
+
+    def test_heartbeats_carry_app_progress_and_acks(self):
+        net, runtime, replicas = build()
+        net.reachability(wait=0.5)
+        net.run_for(1.0)
+        backup = replicas.replica("r1")
+        assert "learning_switch" in backup.app_progress
+        assert backup.acked_index == replicas.ship_index
+
+
+class TestFailover:
+    def test_crash_promotes_lowest_backup(self):
+        net, runtime, replicas = build(backups=2, lease_timeout=0.2)
+        inject_marker_packet(net, "h1", "h2", "flow-a")
+        net.run_for(0.5)
+        replicas.crash_primary()
+        net.run_for(1.0)
+        assert len(replicas.failovers) == 1
+        fo = replicas.failovers[0]
+        assert (fo.from_replica, fo.to_replica) == ("r0", "r1")
+        assert replicas.primary.replica_id == "r1"
+        assert replicas.epoch == 1
+        assert replicas.replica("r0").role is ReplicaRole.DEAD
+        # Detection is lease-bounded.
+        assert fo.duration <= 0.2 + 3 * replicas.check_interval
+
+    def test_second_failover_promotes_next_backup(self):
+        net, runtime, replicas = build(backups=2, lease_timeout=0.2)
+        replicas.crash_primary()
+        net.run_for(1.0)
+        replicas.crash_primary()
+        net.run_for(1.0)
+        assert replicas.primary.replica_id == "r2"
+        assert replicas.epoch == 2
+        assert len(replicas.failovers) == 2
+
+    def test_no_backup_left_stops_failing_over(self):
+        net, runtime, replicas = build(backups=1, lease_timeout=0.2)
+        replicas.crash_primary()
+        net.run_for(1.0)
+        replicas.crash_primary()
+        net.run_for(1.0)
+        # The last primary died with nobody left to promote: it keeps
+        # the title, but the set knows it is not serving.
+        assert replicas.primary.replica_id == "r1"
+        assert not replicas.primary.is_live
+        assert not replicas.live_backups()
+        assert replicas.epoch == 1  # nothing left to promote
+        assert len(replicas.failovers) == 1
+
+    def test_app_survives_with_state(self):
+        net, runtime, replicas = build(lease_timeout=0.2)
+        inject_marker_packet(net, "h1", "h2", "flow-a")
+        net.run_for(0.5)
+        stub = runtime.stubs["learning_switch"]
+        seq_before = stub.last_seq_done
+        macs_before = {d: dict(t) for d, t in stub.app.mac_tables.items()}
+        assert any(macs_before.values()), "nothing learned pre-crash"
+        replicas.crash_primary()
+        net.run_for(1.0)
+        new_runtime = replicas.runtime
+        assert new_runtime is not runtime
+        assert new_runtime.live_apps() == ["learning_switch"]
+        # Same stub object, same state, seq numbering resumed.
+        assert new_runtime.stubs["learning_switch"] is stub
+        for dpid, table in macs_before.items():
+            for mac, port in table.items():
+                assert stub.app.mac_tables[dpid].get(mac) == port
+        inject_marker_packet(net, "h2", "h1", "flow-b")
+        net.run_for(1.0)
+        assert stub.last_seq_done > seq_before
+
+    def test_failover_span_and_metrics(self):
+        telemetry = Telemetry(enabled=True)
+        net, runtime, replicas = build(telemetry=telemetry, lease_timeout=0.2)
+        replicas.crash_primary()
+        net.run_for(1.0)
+        tracer = replicas.primary.telemetry.tracer
+        spans = [s for s in tracer.spans if s.name == "replication.failover"]
+        assert len(spans) == 1
+        assert spans[0].tags["to_replica"] == "r1"
+        assert spans[0].duration == replicas.failovers[0].duration
+
+    def test_zero_divergence_after_failover_under_traffic(self):
+        telemetry = Telemetry(enabled=True)
+        net, runtime, replicas = build(telemetry=telemetry, switches=3,
+                                       lease_timeout=0.2)
+        TrafficWorkload(net, rate=30.0, seed=0).start(4.0)
+        net.run_for(1.0)
+        replicas.crash_primary()
+        net.run_for(3.5)
+        assert replicas.divergence() == 0
+
+
+class TestFencing:
+    def test_fence_validates_epochs(self):
+        fence = EpochFence(epoch=3)
+        assert fence.permits(None)   # unreplicated writers are exempt
+        assert fence.permits(3)
+        assert not fence.permits(2)
+        with pytest.raises(ValueError):
+            fence.advance(2)
+
+    def test_partitioned_primary_cannot_write(self):
+        net, runtime, replicas = build(lease_timeout=0.2)
+        net.run_for(0.5)
+        replicas.partition_primary()
+        net.run_for(1.0)
+        assert replicas.primary.replica_id == "r1"
+        zombie = replicas.replica("r0").controller
+        fenced_before = replicas.fence.fenced_writes
+        table_before = len(net.switch(1).flow_table)
+        zombie.send_to_switch(1, FlowMod(
+            match=Match(eth_dst="evil"), command=FlowModCommand.ADD,
+            priority=5000, actions=(Output(1),)))
+        net.run_for(0.2)
+        assert replicas.fence.fenced_writes > fenced_before
+        assert len(net.switch(1).flow_table) == table_before
+        assert replicas.fence.rejections[-1][0] == 1
+
+    def test_stale_frames_dropped_by_promoted_replica(self):
+        net, runtime, replicas = build(lease_timeout=0.2)
+        backup = replicas.replica("r1")
+        replicas.crash_primary()
+        net.run_for(1.0)
+        stale = RecordShip(epoch=0, index=99, txn_id=7, app_name="x",
+                           dpid=1, message=None, inverses=(),
+                           applied_at=net.now)
+        before = backup.stale_frames
+        replicas._on_backup_frame(backup, stale)
+        assert backup.stale_frames == before + 1
+        assert 7 not in backup.open_txns
+
+
+class TestOrphanRollback:
+    def test_unresolved_txn_rolled_back_on_promotion(self):
+        net, runtime, replicas = build(lease_timeout=0.2)
+        backup = replicas.replica("r1")
+        # A transaction the primary opened but never resolved: the ADD
+        # reached switch 1 and shipped, the resolve never came.
+        mod = FlowMod(match=Match(eth_dst="orphan"),
+                      command=FlowModCommand.ADD,
+                      priority=700, actions=(Output(1),))
+        inverse = FlowMod(match=Match(eth_dst="orphan"),
+                          command=FlowModCommand.DELETE_STRICT,
+                          priority=700, actions=())
+        net.controller.send_to_switch(1, mod)
+        net.run_for(0.1)
+        assert net.switch(1).flow_table.find(Match(eth_dst="orphan"), 700)
+        replicas._on_backup_frame(backup, RecordShip(
+            epoch=0, index=replicas.ship_index + 1, txn_id=12345,
+            app_name="learning_switch", dpid=1, message=mod,
+            inverses=(inverse,), applied_at=net.now))
+        assert 12345 in backup.open_txns
+        replicas.crash_primary()
+        net.run_for(1.0)
+        fo = replicas.failovers[0]
+        assert fo.orphan_txns == 1
+        assert fo.orphan_inverses == 1
+        assert not backup.open_txns
+        # The inverse reached the switch: the half-done write is gone.
+        assert not net.switch(1).flow_table.find(Match(eth_dst="orphan"), 700)
+
+
+class TestStatsReconcile:
+    def test_poll_refreshes_shadow_idle_clocks(self):
+        net, runtime, replicas = build(stats_interval=0.1)
+        manager = runtime.proxy.manager
+        # A rule the data plane keeps alive but whose shadow clock the
+        # controller cannot refresh on its own.
+        net.controller.send_to_switch(1, FlowMod(
+            match=Match(eth_dst="hot"), command=FlowModCommand.ADD,
+            priority=10, idle_timeout=0.5, actions=(Output(1),)))
+        net.run_for(0.2)
+        shadow = manager.shadow_table(1)
+        [entry] = shadow.find(Match(eth_dst="hot"), 10)
+        real = net.switch(1).flow_table.find(Match(eth_dst="hot"), 10)[0]
+        installed = entry.installed_at
+        for _ in range(8):
+            net.run_for(0.3)
+            real.hit(object(), net.now)  # data-plane traffic
+        # Lazy expiry alone would have dropped it after 0.5s idle; the
+        # stats poll kept the shadow's clock tracking the switch's.
+        assert manager.shadow_table(1).find(Match(eth_dst="hot"), 10)
+        assert entry.installed_at == installed

@@ -1,0 +1,86 @@
+"""Tests for the HTTP telemetry endpoint (repro.telemetry.serve)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.serve import MetricsServer
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode("utf-8")
+
+
+@pytest.fixture
+def telemetry():
+    t = Telemetry(enabled=True)
+    t.metrics.inc("crashpad.recoveries", 3)
+    t.metrics.observe("app.event_latency", 0.012)
+    with t.tracer.span("appvisor.event", app="demo"):
+        pass
+    return t
+
+
+class TestMetricsServer:
+    def test_metrics_endpoint_serves_prometheus_text(self, telemetry):
+        with MetricsServer(telemetry) as server:
+            status, ctype, body = fetch(server.url + "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert "repro_crashpad_recoveries_total 3" in body
+
+    def test_root_serves_metrics_too(self, telemetry):
+        with MetricsServer(telemetry) as server:
+            _, _, body = fetch(server.url + "/")
+        assert "repro_crashpad_recoveries_total" in body
+
+    def test_scrapes_observe_live_updates(self, telemetry):
+        with MetricsServer(telemetry) as server:
+            _, _, before = fetch(server.url + "/metrics")
+            telemetry.metrics.inc("crashpad.recoveries", 7)
+            _, _, after = fetch(server.url + "/metrics")
+        assert "repro_crashpad_recoveries_total 3" in before
+        assert "repro_crashpad_recoveries_total 10" in after
+
+    def test_healthz_uses_callable(self, telemetry):
+        server = MetricsServer(telemetry,
+                               health=lambda: "controller=up apps=2")
+        with server:
+            status, _, body = fetch(server.url + "/healthz")
+        assert status == 200
+        assert body == "controller=up apps=2\n"
+
+    def test_trace_json_parses(self, telemetry):
+        with MetricsServer(telemetry) as server:
+            status, ctype, body = fetch(server.url + "/trace.json")
+        assert status == 200
+        assert ctype == "application/json"
+        doc = json.loads(body)
+        assert any(s["name"] == "appvisor.event" for s in doc["spans"])
+
+    def test_unknown_path_404(self, telemetry):
+        with MetricsServer(telemetry) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                fetch(server.url + "/nope")
+            assert exc.value.code == 404
+
+    def test_ephemeral_port_and_stop(self, telemetry):
+        server = MetricsServer(telemetry)
+        assert server.port == 0
+        server.start()
+        assert server.port != 0
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            fetch(server.url + "/metrics")
+
+    def test_start_twice_is_idempotent(self, telemetry):
+        server = MetricsServer(telemetry).start()
+        port = server.port
+        assert server.start().port == port
+        server.stop()
+        server.stop()  # stop is idempotent too
