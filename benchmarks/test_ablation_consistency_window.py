@@ -49,9 +49,17 @@ class BurstPolicyApp(SDNApp):
 
 
 def _install_latencies(mode):
-    """(first-rule, last-rule) latency for the burst policy."""
+    """(first-rule, last-rule) latency for the burst policy.
+
+    Batching is disabled here: the whole burst is emitted in one sim
+    tick, so per-tick RPC coalescing would deliver all 60 frames in a
+    single datagram and erase the eager-vs-held distinction this
+    ablation exists to measure.  Per-frame streaming is the §4.1
+    semantics under comparison.
+    """
     net, runtime = build_legosdn(linear_topology(2, 1),
-                                 [BurstPolicyApp()], mode=mode)
+                                 [BurstPolicyApp()], mode=mode,
+                                 channel_batch=False)
     switch = net.switch(1)
     first = last = None
     start = net.now
@@ -74,10 +82,15 @@ def _byzantine_exposure(mode):
     installed through NetLog (so the shadow tables know it).  The
     byzantine app then black-holes s2 -- squarely on that path -- so
     the invariant checker can see the violation in both modes.
+
+    Batching off, as above: coalescing would land the bad rules and
+    the EventComplete that rolls them back in the same datagram,
+    collapsing the eager-mode exposure window this measures.
     """
     net, runtime = build_legosdn(
         linear_topology(3, 1), [],
         byzantine_check=True, mode=mode,
+        channel_batch=False,
     )
     runtime.launch_app(crash_on(LearningSwitch(name="byz"),
                                 payload_marker="EVIL",

@@ -44,8 +44,10 @@ def _drain_time(switches, parallel):
         inject_marker_packet(net, src, names[(i + 1) % len(names)],
                              f"b-{src}")
     record = runtime.record("hub")
+    # Poll well below the per-event cost (~2.4 ms with incremental
+    # checkpoints) or quantisation drowns the serial-vs-lanes signal.
     while net.now - start < 10.0 and record.events_completed < switches:
-        net.run_for(0.005)
+        net.run_for(0.0005)
     return net.now - start
 
 
@@ -112,7 +114,13 @@ def test_e14_concurrency_lanes(benchmark):
     assert (by_n[8]["serial"] / by_n[8]["lanes"]
             > by_n[2]["serial"] / by_n[2]["lanes"])
     # Serial drain grows ~linearly with switches; lanes stay ~flat.
-    assert by_n[8]["serial"] > by_n[2]["serial"] * 2.5
+    # The first event of a drain pays the chain-opening full
+    # checkpoint (a constant ~10 ms), so compare marginal growth
+    # rather than the raw n=8/n=2 ratio.
+    serial_growth = by_n[8]["serial"] - by_n[2]["serial"]
+    lanes_growth = by_n[8]["lanes"] - by_n[2]["lanes"]
+    assert serial_growth > 0.010  # 6 extra events, >=2 ms each
+    assert lanes_growth < serial_growth / 3
     assert by_n[8]["lanes"] < by_n[2]["lanes"] * 2.5
     # Attribution: the crash was pinpointed, the app recovered, and the
     # innocent in-flight events were not lost.

@@ -41,6 +41,7 @@ def _run_interval(k):
     stub = runtime.stub("app")
     checkpoint_cost = stub.checkpoints.total_cost
     checkpoints_taken = stub.checkpoints.taken_count
+    store_stats = stub.checkpoints.stats()
     events_processed = stub.events_processed
     # Crash and recover once; measure the restore.
     inject_marker_packet(net, "h1", "h2", "BOOM")
@@ -58,6 +59,13 @@ def _run_interval(k):
         "crashes": record.crash_count,
         # journal replay work done during the restore
         "replayed": stub.journal.last_seq() and stub.restores_done,
+        # incremental-store composition: full images vs deltas vs
+        # hash-dedup skips, plus how many entries retention evicted
+        "full": store_stats["full"],
+        "delta": store_stats["delta"],
+        "dedup_hits": store_stats["dedup_hits"],
+        "evicted": store_stats["evicted"],
+        "retained_bytes": store_stats["retained_bytes"],
     }
 
 
@@ -68,9 +76,10 @@ def test_e7_checkpoint_interval_sweep(benchmark):
     rows = run_once(benchmark, experiment)
     print_table(
         f"E7: checkpoint interval sweep ({EVENTS} events, one crash)",
-        ["k", "events", "checkpoints", "total ckpt cost (ms)",
-         "per-event overhead (ms)", "recovered"],
+        ["k", "events", "checkpoints", "full/delta/dedup", "evicted",
+         "total ckpt cost (ms)", "per-event overhead (ms)", "recovered"],
         [[r["k"], r["events"], r["checkpoints"],
+          f"{r['full']}/{r['delta']}/{r['dedup_hits']}", r["evicted"],
           f"{r['checkpoint_cost'] * 1000:.1f}",
           f"{r['per_event_overhead'] * 1000:.2f}",
           "yes" if r["recovered"] else "NO"]
@@ -90,3 +99,10 @@ def test_e7_checkpoint_interval_sweep(benchmark):
     assert by_k[25]["checkpoint_cost"] < by_k[1]["checkpoint_cost"] / 4
     # k=1 checkpoints once per event (the §4.1 prototype behaviour).
     assert by_k[1]["checkpoints"] >= by_k[1]["events"]
+    # Incremental-store composition adds up, and retention actually
+    # evicted at k=1 (40+ takes against keep=16) without inflating the
+    # retained-bytes figure.
+    assert all(r["full"] + r["delta"] + r["dedup_hits"] == r["checkpoints"]
+               for r in rows)
+    assert by_k[1]["evicted"] > 0
+    assert all(r["retained_bytes"] >= 0 for r in rows)

@@ -232,6 +232,29 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_trace_diff(args) -> int:
+    """Diff two traces segment by segment: which hot-path span
+    (dispatch, RPC, checkpoint, NetLog commit) moved, and by how much."""
+    from repro.telemetry.spandiff import (
+        check_regression,
+        diff_summaries,
+        load_summary,
+        render_diff,
+    )
+
+    base = load_summary(args.baseline)
+    cand = load_summary(args.candidate)
+    print(render_diff(diff_summaries(base, cand),
+                      base_label=args.baseline,
+                      cand_label=args.candidate))
+    if args.check_regression is not None:
+        ok, message = check_regression(base, cand, span=args.span,
+                                       threshold=args.check_regression)
+        print(("OK   " if ok else "FAIL ") + message)
+        return 0 if ok else 1
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Run the quickstart scenario with tracing on, then keep serving
     its metrics over HTTP (/metrics, /healthz, /trace.json)."""
@@ -401,6 +424,20 @@ def build_parser() -> argparse.ArgumentParser:
                          default="json",
                          help="output format for --out (default json)")
     p_trace.set_defaults(func=cmd_trace)
+    trace_sub = p_trace.add_subparsers(dest="trace_cmd")
+    p_diff = trace_sub.add_parser(
+        "diff", help=cmd_trace_diff.__doc__)
+    p_diff.add_argument("baseline", help="baseline trace JSON "
+                        "(repro trace --out, or a span-diff capture)")
+    p_diff.add_argument("candidate", help="candidate trace JSON")
+    p_diff.add_argument("--span", default="appvisor.event",
+                        help="span gated by --check-regression "
+                             "(default appvisor.event)")
+    p_diff.add_argument("--check-regression", type=float, default=None,
+                        metavar="FRACTION",
+                        help="exit non-zero if the --span median "
+                             "regressed more than FRACTION (e.g. 0.2)")
+    p_diff.set_defaults(func=cmd_trace_diff)
 
     p_serve = sub.add_parser("serve", help=cmd_serve.__doc__)
     add_topo_args(p_serve)

@@ -17,8 +17,9 @@ exception escape (so they don't).
 from __future__ import annotations
 
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.controller.api import Command
 from repro.controller.channel import ControlChannel
@@ -64,7 +65,10 @@ class Controller:
 
     def __init__(self, sim, control_delay: float = 0.0005,
                  discovery_interval: float = 0.5,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 dispatch_shards: int = 8):
+        if dispatch_shards < 1:
+            raise ValueError("dispatch_shards must be >= 1")
         self.sim = sim
         self.telemetry = telemetry or Telemetry()
         self.telemetry.bind_clock(lambda: self.sim.now)
@@ -76,6 +80,24 @@ class Controller:
         self.epoch = 0
         self.channels: Dict[int, ControlChannel] = {}
         self.listeners: List[ListenerReg] = []
+        #: type name -> listeners subscribed to it, in registration
+        #: order.  Rebuilt only when the registration set changes (see
+        #: ``listener_version``), so dispatch never copies or scans the
+        #: full listener list per event.
+        self._listener_index: Dict[str, Tuple[ListenerReg, ...]] = {}
+        #: Bumped on every (un)register; consumers caching dispatch
+        #: plans compare against it instead of re-snapshotting.
+        self.listener_version = 0
+        #: Dispatch fan-out lanes: events for independent switches
+        #: traverse disjoint FIFO lanes (dpid % shards; controller-level
+        #: events ride lane 0), the crashpad per-dpid-lane idea
+        #: generalised to the controller.  Each lane preserves FIFO
+        #: across re-entrant dispatches.
+        self.dispatch_shards = dispatch_shards
+        self._lanes: Tuple[Deque, ...] = tuple(
+            deque() for _ in range(dispatch_shards))
+        self._lane_busy: List[bool] = [False] * dispatch_shards
+        self.dispatches_by_lane: List[int] = [0] * dispatch_shards
         self.crashed = False
         self.crash_records: List[CrashRecord] = []
         self.reboot_times: List[float] = []
@@ -152,25 +174,56 @@ class Controller:
     def dispatch(self, event) -> None:
         """Deliver ``event`` to subscribed listeners, in order.
 
+        Events are routed onto a dispatch lane by dpid (events without
+        a dpid ride lane 0) and each lane drains FIFO: a re-entrant
+        dispatch from inside a listener enqueues behind the event being
+        delivered rather than preempting it.  With the simulator being
+        single-threaded the lanes are a fairness/ordering structure,
+        not true parallelism -- but they keep independent switches'
+        event streams disjoint, the unit a parallel drain would use.
+
         An exception from a listener is an unhandled exception in the
         controller process: the controller crashes (the fate-sharing
         relationship this paper exists to remove).
         """
         if self.crashed:
             return
+        lane = self._lane_of(event)
+        queue = self._lanes[lane]
+        queue.append(event)
+        if self._lane_busy[lane]:
+            return  # the active drain below delivers it, FIFO
+        self._lane_busy[lane] = True
+        try:
+            while queue:
+                if self.crashed:
+                    queue.clear()
+                    return
+                self._dispatch_one(queue.popleft(), lane)
+        finally:
+            self._lane_busy[lane] = False
+
+    def _lane_of(self, event) -> int:
+        if self.dispatch_shards == 1:
+            return 0
+        dpid = getattr(event, "dpid", None)
+        if dpid is None:
+            return 0
+        return int(dpid) % self.dispatch_shards
+
+    def _dispatch_one(self, event, lane: int) -> None:
         type_name = event.type_name
+        self.dispatches_by_lane[lane] += 1
         tracer = self.telemetry.tracer
         if tracer.enabled:
             with tracer.span("controller.dispatch", event=type_name,
-                             epoch=self.epoch):
+                             epoch=self.epoch, lane=lane):
                 self._deliver(event, type_name)
         else:
             self._deliver(event, type_name)
 
     def _deliver(self, event, type_name: str) -> None:
-        for reg in list(self.listeners):
-            if not reg.wants(type_name):
-                continue
+        for reg in self._listener_index.get(type_name, ()):
             try:
                 cmd = reg.callback(event)
             except Exception as exc:  # noqa: BLE001 - modelling fate-sharing
@@ -200,11 +253,32 @@ class Controller:
         self.listeners.append(
             ListenerReg(name=name, types=frozenset(types), callback=callback)
         )
+        self._rebuild_listener_index()
 
     def unregister_listener(self, name: str) -> bool:
         before = len(self.listeners)
         self.listeners = [reg for reg in self.listeners if reg.name != name]
-        return len(self.listeners) != before
+        if len(self.listeners) == before:
+            return False
+        self._rebuild_listener_index()
+        return True
+
+    def _rebuild_listener_index(self) -> None:
+        """Recompute the type->listeners map (registration order kept).
+
+        Runs only when the registration set changes; the tuples it
+        produces are immutable snapshots, so a listener unregistering
+        mid-delivery does not disturb the in-flight iteration (same
+        semantics as the per-event list copy this index replaced).
+        """
+        index: Dict[str, List[ListenerReg]] = {}
+        for reg in self.listeners:
+            for type_name in reg.types:
+                index.setdefault(type_name, []).append(reg)
+        self._listener_index = {
+            type_name: tuple(regs) for type_name, regs in index.items()
+        }
+        self.listener_version += 1
 
     # -- crash / reboot ---------------------------------------------------------
 
@@ -229,6 +303,8 @@ class Controller:
                 flight_records=self.telemetry.flight_dump(),
             )
         )
+        for queue in self._lanes:
+            queue.clear()  # queued events die with the process
         for channel in self.channels.values():
             channel.connected = False  # sessions drop silently; process is gone
         for callback in list(self.crash_callbacks):

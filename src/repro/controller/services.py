@@ -33,6 +33,13 @@ class TopologyService:
         self.controller = controller
         self._switches = set()
         self._links: Dict[Canonical, float] = {}  # canonical -> last_seen
+        #: Every (dpid, port) that has EVER carried a discovered link.
+        #: Sticky across link flaps: a trunk port briefly down must not
+        #: be mistaken for an edge port (transit frames flooded onto it
+        #: mid-flap would be mislearned as host locations, and apps
+        #: would route traffic to a switch the host is not on).  Only a
+        #: full :meth:`reset` reclassifies ports.
+        self._internal_ports: set = set()
         self.version = 0
         # Recently removed links, newest last.  Crash-Pad's equivalence
         # transformation needs the topology as it was *before* a
@@ -60,6 +67,8 @@ class TopologyService:
         link = _canonical(dpid_a, port_a, dpid_b, port_b)
         is_new = link not in self._links
         self._links[link] = now
+        self._internal_ports.add((link[0], link[1]))
+        self._internal_ports.add((link[2], link[3]))
         if is_new:
             self.version += 1
             self.controller.dispatch(LinkDiscovered(*link))
@@ -98,6 +107,7 @@ class TopologyService:
         """Drop all learned state (controller reboot)."""
         self._switches.clear()
         self._links.clear()
+        self._internal_ports.clear()
         self.version += 1
 
     # -- queries -----------------------------------------------------------
@@ -110,10 +120,7 @@ class TopologyService:
         )
 
     def is_interswitch_port(self, dpid: int, port: int) -> bool:
-        return any(
-            (l[0], l[1]) == (dpid, port) or (l[2], l[3]) == (dpid, port)
-            for l in self._links
-        )
+        return (dpid, port) in self._internal_ports
 
 
 class LinkDiscoveryService:

@@ -10,14 +10,22 @@ protocol overhead introduce additional latency into the control-loop"
 off the channel).  UDP is unreliable, so a ``loss`` probability can be
 configured; heartbeats tolerate loss, and lost event traffic surfaces
 as an event-timeout in the failure detector.
+
+With ``batch=True`` the channel coalesces every frame a side sends at
+the same sim instant into one :class:`~repro.core.appvisor.rpc.FrameBatch`
+datagram, flushed on the tick boundary (``batch_window`` past the first
+send).  One ``base_delay`` and one loss roll per batch instead of per
+frame; delivery unpacks in order, so FIFO per direction is preserved
+exactly.  Direct constructions default to unbatched -- the runtime and
+the replication layer opt in.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
-from repro.core.appvisor.rpc import decode_frame, encode_frame
+from repro.core.appvisor.rpc import FrameBatch, decode_frame, encode_frame
 
 
 class ChannelEndpoint:
@@ -35,11 +43,18 @@ class ChannelEndpoint:
         self.handler = handler
 
     def send(self, frame) -> bool:
-        """Serialise and transmit ``frame`` to the peer endpoint."""
-        data = encode_frame(frame)
+        """Serialise and transmit ``frame`` to the peer endpoint.
+
+        On a batching channel the frame joins the side's pending batch
+        and the return value reports enqueueing (loss is rolled per
+        batch at flush time, as on a real NIC's send queue).
+        """
         self.frames_sent += 1
+        if self._channel.batch:
+            return self._channel._enqueue(self._side, frame)
+        data = encode_frame(frame)
         self.bytes_sent += len(data)
-        return self._channel._transmit(self._side, data)
+        return self._channel._transmit(self._side, data, frames=1)
 
 
 class UdpChannel:
@@ -47,41 +62,117 @@ class UdpChannel:
 
     def __init__(self, sim, base_delay: float = 0.0002,
                  per_byte_delay: float = 2e-8, loss: float = 0.0,
-                 seed: int = 0):
+                 seed: int = 0,
+                 batch: bool = False, batch_window: float = 0.0,
+                 telemetry=None, span_name: str = "appvisor.rpc"):
         self.sim = sim
         self.base_delay = base_delay
         self.per_byte_delay = per_byte_delay
         self.loss = loss
         self.rng = random.Random(seed)
+        self.batch = batch
+        #: How long the first pending frame waits for company.  0.0
+        #: still batches: the flush is scheduled as a fresh sim event,
+        #: which fires after every same-instant send already queued.
+        self.batch_window = batch_window
+        #: Optional Telemetry; when enabled each delivered datagram
+        #: records one ``span_name`` span covering its time on the wire
+        #: (tagged with frame and byte counts), the span-diff harness's
+        #: RPC segment.
+        self.telemetry = telemetry
+        self.span_name = span_name
         self.proxy_end = ChannelEndpoint(self, "proxy")
         self.stub_end = ChannelEndpoint(self, "stub")
         self.datagrams_delivered = 0
         self.datagrams_lost = 0
         self.bytes_carried = 0
+        self.batches_flushed = 0
+        self.frames_batched = 0
         # Per-direction transmit serialisation: the sender's interface
         # puts one datagram on the wire at a time, so a burst of sends
         # drains at per_byte_delay line rate and ordering is inherent
         # (a small datagram can never overtake a big one).
         self._tx_free_at = {"proxy": 0.0, "stub": 0.0}
+        self._pending: dict = {"proxy": [], "stub": []}
+        self._flush_scheduled = {"proxy": False, "stub": False}
 
     def delay_for(self, nbytes: int) -> float:
         """One-way latency for an ``nbytes`` datagram on an idle link."""
         return self.base_delay + nbytes * self.per_byte_delay
 
-    def _transmit(self, from_side: str, data: bytes) -> bool:
+    # -- batching ---------------------------------------------------------
+
+    def _enqueue(self, from_side: str, frame) -> bool:
+        self._pending[from_side].append(frame)
+        if not self._flush_scheduled[from_side]:
+            self._flush_scheduled[from_side] = True
+            self.sim.schedule(self.batch_window,
+                              lambda: self._flush(from_side))
+        return True
+
+    def _flush(self, from_side: str) -> None:
+        """Ship the side's pending frames as one datagram."""
+        self._flush_scheduled[from_side] = False
+        pending: List = self._pending[from_side]
+        if not pending:
+            return
+        self._pending[from_side] = []
+        if len(pending) == 1:
+            frame = pending[0]
+        else:
+            frame = FrameBatch(frames=tuple(pending))
+        data = encode_frame(frame)
+        endpoint = (self.proxy_end if from_side == "proxy"
+                    else self.stub_end)
+        endpoint.bytes_sent += len(data)
+        self.batches_flushed += 1
+        self.frames_batched += len(pending)
+        self._transmit(from_side, data, frames=len(pending))
+
+    def drop_pending(self, side: str) -> int:
+        """Discard a side's unflushed frames (its process just died).
+
+        Returns how many frames were dropped.  A crash between sends
+        and the tick-boundary flush loses exactly the unflushed tail --
+        everything already flushed is on the wire and still arrives.
+        """
+        dropped = len(self._pending[side])
+        self._pending[side] = []
+        return dropped
+
+    def pending_frames(self, side: str) -> int:
+        return len(self._pending[side])
+
+    # -- the wire ---------------------------------------------------------
+
+    def _transmit(self, from_side: str, data: bytes, frames: int = 1) -> bool:
         if self.loss > 0 and self.rng.random() < self.loss:
             self.datagrams_lost += 1
             return False
         dest = self.stub_end if from_side == "proxy" else self.proxy_end
         self.bytes_carried += len(data)
-
-        def deliver():
-            self.datagrams_delivered += 1
-            if dest.handler is not None:
-                dest.handler(decode_frame(data))
-
         tx_start = max(self.sim.now, self._tx_free_at[from_side])
         tx_end = tx_start + len(data) * self.per_byte_delay
         self._tx_free_at[from_side] = tx_end
+        sent_at = self.sim.now
+        nbytes = len(data)
+
+        def deliver():
+            self.datagrams_delivered += 1
+            if (self.telemetry is not None and self.telemetry.enabled):
+                self.telemetry.tracer.record_span(
+                    self.span_name, start=sent_at,
+                    direction=from_side, frames=frames, nbytes=nbytes)
+            if dest.handler is None:
+                return
+            frame = decode_frame(data)
+            if isinstance(frame, FrameBatch):
+                for inner in frame.frames:
+                    if dest.handler is None:
+                        break  # receiver detached mid-batch
+                    dest.handler(inner)
+            else:
+                dest.handler(frame)
+
         self.sim.schedule_at(tx_end + self.base_delay, deliver)
         return True

@@ -163,6 +163,22 @@ class ContextPush:
     hosts: Tuple[HostEntry, ...]
 
 
+@register_dataclass
+@dataclass(frozen=True)
+class FrameBatch:
+    """Several frames coalesced into one datagram (batched RPC).
+
+    A batching channel collects every frame sent at the same sim
+    instant and ships them as one ``FrameBatch``, paying ``base_delay``
+    and the codec's framing once instead of per frame.  The receiver
+    unpacks in order, so per-lane FIFO is exactly what single-frame
+    delivery gave -- and a loss (or a crash before the flush) drops the
+    whole tail at once, never a random subset out of the middle.
+    """
+
+    frames: Tuple[object, ...]
+
+
 def encode_frame(frame) -> bytes:
     """Serialise a frame for the wire."""
     return encode_value(frame)

@@ -80,11 +80,16 @@ class AppVisorStub:
                  heartbeat_interval: float = 0.1,
                  limits: Optional[ResourceLimits] = None,
                  journal_size: int = 256,
-                 replica_factory=None):
+                 replica_factory=None,
+                 telemetry=None):
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
         self.sim = sim
         self.app = app
+        #: Optional Telemetry; when enabled the stub records one
+        #: ``appvisor.checkpoint`` span per checkpoint freeze, the
+        #: span-diff harness's checkpoint segment.
+        self.telemetry = telemetry
         self.api = StubAPI(self)
         self.sandbox = SandboxProcess(app, limits)
         self.checkpoints = checkpoint_store or CheckpointStore()
@@ -193,16 +198,18 @@ class AppVisorStub:
             return  # silence; the proxy's detector will notice
         seq = frame.seq
         checkpoint_cost = 0.0
+        checkpoint_kind = None
         if self._checkpoint_due(seq) and not self._pending_process:
             try:
                 checkpoint = self.checkpoints.take(self.app, seq, self.sim.now)
-                self.sandbox.check_state_size(checkpoint.size)
+                self.sandbox.check_state_size(checkpoint.state_size)
             except ResourceLimitExceeded as exc:
                 self.endpoint.send(rpc.CrashReport(
                     app_name=self.app.name, seq=seq, error=str(exc),
                 ))
                 return
             checkpoint_cost = self.checkpoints.cost_of(checkpoint)
+            checkpoint_kind = checkpoint.kind
             # Keep journal entries back to the OLDEST retained
             # checkpoint: deep (STS-guided) recovery may roll that far.
             oldest = self.checkpoints.oldest()
@@ -210,8 +217,10 @@ class AppVisorStub:
         self.journal.record(seq, frame.event)
         self._pending_process.add(seq)
         # The checkpoint freeze delays processing -- this is the §4.1
-        # per-event overhead E7 measures.
-        self.sim.schedule(checkpoint_cost, self._process, seq, frame.event)
+        # per-event overhead E7 measures (incremental checkpoints make
+        # most freezes delta- or hash-priced rather than full dumps).
+        self.sim.schedule(checkpoint_cost, self._process, seq, frame.event,
+                          self.sim.now, checkpoint_kind)
 
     def _checkpoint_due(self, seq: int) -> bool:
         latest = self.checkpoints.latest()
@@ -219,8 +228,17 @@ class AppVisorStub:
             return True
         return seq - latest.before_seq >= self.checkpoint_interval
 
-    def _process(self, seq: int, event) -> None:
+    def _process(self, seq: int, event, freeze_start: Optional[float] = None,
+                 checkpoint_kind: Optional[str] = None) -> None:
         self._pending_process.discard(seq)
+        if (checkpoint_kind is not None and self.telemetry is not None
+                and self.telemetry.enabled):
+            # The checkpoint freeze that just ended, as a span: the
+            # checkpoint segment of the event critical path.
+            self.telemetry.tracer.record_span(
+                "appvisor.checkpoint", start=freeze_start,
+                app=self.app.name, seq=seq, kind=checkpoint_kind,
+            )
         if not self.sandbox.alive:
             return
         self.current_seq = seq
@@ -286,7 +304,7 @@ class AppVisorStub:
             self.journal.remove(seq)
         self._pending_process.clear()
         replayed, failed_entry = self._restore_and_replay(checkpoint, offending)
-        cost = (self.checkpoints.cost_of(checkpoint)
+        cost = (self.checkpoints.restore_cost_of(checkpoint)
                 + replayed * self.REPLAY_EVENT_COST)
         culprits: tuple = ()
         error = ""
@@ -368,7 +386,7 @@ class AppVisorStub:
         ]
         result = find_minimal_causal_sequence(
             self._build_replica,
-            checkpoint.blob,
+            self.checkpoints.materialize(checkpoint),
             history=history,
             offending=(failed_entry.seq, failed_entry.event),
         )
@@ -425,7 +443,7 @@ class AppVisorStub:
                                 error="no offending event recorded")
             return
         result = find_minimal_causal_sequence(
-            self._build_replica, oldest.blob,
+            self._build_replica, self.checkpoints.materialize(oldest),
             history=journal_events,
             offending=(offending, offending_entry),
         )
@@ -436,7 +454,7 @@ class AppVisorStub:
             checkpoint = self.checkpoints.latest_before(offending)
             replayed, failed_entry = self._restore_and_replay(
                 checkpoint, offending)
-            cost = (self.checkpoints.cost_of(checkpoint)
+            cost = (self.checkpoints.restore_cost_of(checkpoint)
                     + (replayed + result.probe_runs)
                     * self.REPLAY_EVENT_COST)
             self.restores_done += 1
@@ -452,7 +470,8 @@ class AppVisorStub:
             self.journal.remove(seq)
         safe_before_seq = pick_rollback_checkpoint(
             self._build_replica,
-            [(c.before_seq, c.blob) for c in history],
+            [(c.before_seq, self.checkpoints.materialize(c))
+             for c in history],
             journal_events,
             offending=(offending, offending_entry),
             culprit_seqs=culprits,
@@ -466,7 +485,7 @@ class AppVisorStub:
                           if c.before_seq == safe_before_seq)
         replayed, failed_entry = self._restore_and_replay(
             checkpoint, offending)
-        cost = (self.checkpoints.cost_of(checkpoint)
+        cost = (self.checkpoints.restore_cost_of(checkpoint)
                 + (replayed + result.probe_runs) * self.REPLAY_EVENT_COST)
         self.sts_runs += 1
         self.restores_done += 1

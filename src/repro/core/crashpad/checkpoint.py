@@ -7,56 +7,139 @@ the app's mutable state at a point in time) -- and charges a modelled
 cost in simulated time, proportional to image size, so the E7
 checkpoint-frequency experiment measures a real trade-off.
 
+Checkpoints are **incremental** (the §5 direction: "rather than
+checkpointing after every event, we can checkpoint after every few
+events" -- we go further and make each checkpoint itself cheap):
+
+- every take hashes the state; when nothing changed since the last
+  checkpoint, a zero-byte **dedup** entry is recorded and only the
+  hash cost is charged;
+- a **full** image is written every ``full_every`` checkpoints, with
+  per-key state **deltas** in between (changed/added keys pickled
+  individually, removed keys listed), the CRIU ``--track-mem``
+  incremental-dump analogue;
+- restore materialises a delta entry by loading the chain's full image
+  and folding the deltas forward, so restore-equivalence with full
+  pickles holds for every chain prefix;
+- eviction past ``keep`` promotes the new oldest entry to a full image
+  first, so truncating a chain never strands its deltas.
+
 A checkpoint taken *before* event ``seq`` is keyed by ``before_seq``:
 it captures the state produced by events ``1 .. seq-1``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 class CheckpointError(RuntimeError):
     """State could not be snapshotted or restored."""
 
 
+#: Checkpoint kinds: a self-contained image, a per-key diff against the
+#: previous entry, or a zero-byte alias for an unchanged state.
+FULL = "full"
+DELTA = "delta"
+DEDUP = "dedup"
+
+
 @dataclass
 class Checkpoint:
-    """One snapshot of an app's state."""
+    """One snapshot of an app's state.
+
+    ``blob`` holds the full pickled state for ``kind == "full"``, the
+    pickled ``(changed, removed)`` diff for ``"delta"``, and is empty
+    for ``"dedup"`` entries (the state equals the previous entry's).
+    """
 
     before_seq: int
     taken_at: float
     blob: bytes
+    kind: str = FULL
+    #: blake2b digest of the state's per-key pickles (dedup identity).
+    state_hash: bytes = b""
+    #: Total size of the state's per-key pickles (the "image size" the
+    #: hash pass reads, and what a full dump of this state would cost).
+    state_size: int = 0
+    #: Modelled sim-time cost charged when this checkpoint was taken.
+    cost: float = 0.0
 
     @property
     def size(self) -> int:
+        """Bytes this checkpoint retains on disk (0 for dedup)."""
         return len(self.blob)
 
 
 class CheckpointStore:
     """Holds recent checkpoints for one app, with a cost model.
 
-    ``base_cost`` models CRIU's fixed freeze/dump overhead and
-    ``per_byte_cost`` the image-size-proportional part; both are in
-    simulated seconds.  ``keep`` bounds retention (rollbacks only ever
-    reach back a bounded number of events -- §5 discusses reading "a
-    history of snapshots").
+    ``base_cost`` models CRIU's fixed freeze/dump overhead for a full
+    image and ``per_byte_cost`` the image-size-proportional part;
+    ``delta_base_cost`` is the (much smaller) freeze overhead of an
+    incremental dump, and ``hash_per_byte_cost`` what the dedup hash
+    pass charges per state byte.  All costs are in simulated seconds.
+    ``keep`` bounds retention (rollbacks only ever reach back a bounded
+    number of events -- §5 discusses reading "a history of snapshots");
+    ``full_every`` caps delta-chain length so restores stay cheap.
     """
 
     def __init__(self, keep: int = 16, base_cost: float = 0.010,
-                 per_byte_cost: float = 1e-7):
+                 per_byte_cost: float = 1e-7,
+                 full_every: int = 8,
+                 delta_base_cost: float = 0.002,
+                 hash_per_byte_cost: float = 2e-9,
+                 dedup: bool = True):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        if full_every < 1:
+            raise ValueError("full_every must be >= 1")
         self.keep = keep
         self.base_cost = base_cost
         self.per_byte_cost = per_byte_cost
+        self.full_every = full_every
+        self.delta_base_cost = delta_base_cost
+        self.hash_per_byte_cost = hash_per_byte_cost
+        self.dedup = dedup
         self._checkpoints: List[Checkpoint] = []
+        #: Per-key pickles of the most recent state (take or restore),
+        #: the diff base for the next delta.
+        self._prev_key_blobs: Optional[Dict[object, bytes]] = None
+        self._prev_hash: bytes = b""
+        #: Entries since (and including) the last full image; resets
+        #: the delta chain when it reaches ``full_every``.
+        self._chain_len = 0
         self.taken_count = 0
         self.restored_count = 0
+        self.full_count = 0
+        self.delta_count = 0
+        self.dedup_hits = 0
+        self.evicted_count = 0
+        #: Bytes currently retained across live checkpoints (eviction
+        #: subtracts; use :attr:`bytes_written` for the cumulative I/O).
         self.total_bytes = 0
+        self.bytes_written = 0
         self.total_cost = 0.0
 
     # -- snapshot --------------------------------------------------------
+
+    @staticmethod
+    def _key_blobs(state: dict) -> Dict[object, bytes]:
+        return {
+            key: pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            for key, value in state.items()
+        }
+
+    @staticmethod
+    def _hash_of(key_blobs: Dict[object, bytes]) -> bytes:
+        digest = hashlib.blake2b(digest_size=16)
+        for key in sorted(key_blobs, key=repr):
+            digest.update(repr(key).encode())
+            digest.update(key_blobs[key])
+        return digest.digest()
 
     def take(self, app, before_seq: int, now: float) -> Checkpoint:
         """Snapshot ``app`` prior to event ``before_seq``.
@@ -65,23 +148,139 @@ class CheckpointStore:
         :meth:`cost_of` and accumulated in :attr:`total_cost`.
         """
         try:
-            blob = pickle.dumps(app.get_state(), protocol=pickle.HIGHEST_PROTOCOL)
+            state = app.get_state()
+            if isinstance(state, dict):
+                key_blobs = self._key_blobs(state)
+                full_blob = None
+            else:
+                # Non-dict states fall back to monolithic snapshots.
+                key_blobs = None
+                full_blob = pickle.dumps(state,
+                                         protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             raise CheckpointError(f"cannot snapshot {app.name}: {exc}") from exc
-        checkpoint = Checkpoint(before_seq=before_seq, taken_at=now, blob=blob)
-        self._checkpoints.append(checkpoint)
-        if len(self._checkpoints) > self.keep:
-            del self._checkpoints[: len(self._checkpoints) - self.keep]
+
+        if key_blobs is not None:
+            state_size = sum(len(b) for b in key_blobs.values())
+            state_hash = self._hash_of(key_blobs)
+            checkpoint = self._take_incremental(
+                before_seq, now, key_blobs, state_hash, state_size)
+        else:
+            checkpoint = self._append(Checkpoint(
+                before_seq=before_seq, taken_at=now, blob=full_blob,
+                kind=FULL, state_hash=b"", state_size=len(full_blob),
+                cost=self.base_cost + len(full_blob) * self.per_byte_cost,
+            ))
+            self._prev_key_blobs = None
+            self._prev_hash = b""
         self.taken_count += 1
-        self.total_bytes += checkpoint.size
-        self.total_cost += self.cost_of(checkpoint)
+        self.total_cost += checkpoint.cost
         return checkpoint
 
+    def _take_incremental(self, before_seq: int, now: float,
+                          key_blobs: Dict[object, bytes],
+                          state_hash: bytes, state_size: int) -> Checkpoint:
+        hash_cost = state_size * self.hash_per_byte_cost
+        if (self.dedup and self._checkpoints
+                and state_hash == self._prev_hash):
+            # Unchanged since the last checkpoint: record the position,
+            # share the predecessor's image, charge only the hash pass.
+            self.dedup_hits += 1
+            return self._append(Checkpoint(
+                before_seq=before_seq, taken_at=now, blob=b"",
+                kind=DEDUP, state_hash=state_hash, state_size=state_size,
+                cost=hash_cost,
+            ))
+        prev = self._prev_key_blobs
+        if (prev is not None and self._checkpoints
+                and self._chain_len < self.full_every):
+            changed = {k: b for k, b in key_blobs.items()
+                       if prev.get(k) != b}
+            removed = tuple(k for k in prev if k not in key_blobs)
+            blob = pickle.dumps((changed, removed),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            checkpoint = self._append(Checkpoint(
+                before_seq=before_seq, taken_at=now, blob=blob,
+                kind=DELTA, state_hash=state_hash, state_size=state_size,
+                cost=(hash_cost + self.delta_base_cost
+                      + len(blob) * self.per_byte_cost),
+            ))
+        else:
+            blob = pickle.dumps(
+                {k: pickle.loads(b) for k, b in key_blobs.items()},
+                protocol=pickle.HIGHEST_PROTOCOL)
+            checkpoint = self._append(Checkpoint(
+                before_seq=before_seq, taken_at=now, blob=blob,
+                kind=FULL, state_hash=state_hash, state_size=state_size,
+                cost=(hash_cost + self.base_cost
+                      + len(blob) * self.per_byte_cost),
+            ))
+        self._prev_key_blobs = key_blobs
+        self._prev_hash = state_hash
+        return checkpoint
+
+    def _append(self, checkpoint: Checkpoint) -> Checkpoint:
+        if checkpoint.kind == FULL:
+            self._chain_len = 1
+            self.full_count += 1
+        elif checkpoint.kind == DELTA:
+            self._chain_len += 1
+            self.delta_count += 1
+        self._checkpoints.append(checkpoint)
+        self.total_bytes += checkpoint.size
+        self.bytes_written += checkpoint.size
+        if len(self._checkpoints) > self.keep:
+            self._evict(len(self._checkpoints) - self.keep)
+        return checkpoint
+
+    def _evict(self, count: int) -> None:
+        """Drop the ``count`` oldest entries, keeping chains restorable.
+
+        If the survivor at the cut is a delta or dedup entry, it is
+        promoted to a full image first (materialised through the
+        entries about to be dropped), so truncation never strands a
+        chain's tail past its base.
+        """
+        survivor = self._checkpoints[count]
+        if survivor.kind != FULL:
+            blob = self.materialize(survivor)
+            self.total_bytes += len(blob) - survivor.size
+            self.bytes_written += len(blob)
+            survivor.blob = blob
+            survivor.kind = FULL
+        for old in self._checkpoints[:count]:
+            self.total_bytes -= old.size
+        self.evicted_count += count
+        del self._checkpoints[:count]
+
     def cost_of(self, checkpoint: Checkpoint) -> float:
-        """Simulated seconds this checkpoint costs."""
-        return self.base_cost + checkpoint.size * self.per_byte_cost
+        """Simulated seconds this checkpoint cost to take."""
+        return checkpoint.cost
+
+    def restore_cost_of(self, checkpoint: Checkpoint) -> float:
+        """Simulated seconds a restore from ``checkpoint`` costs: one
+        full-image load plus folding in the chain's delta bytes."""
+        extra = 0
+        if checkpoint.kind != FULL:
+            idx = self._index_of(checkpoint)
+            for entry in reversed(self._checkpoints[:idx + 1]):
+                if entry.kind == FULL:
+                    break
+                extra += entry.size
+        return (self.base_cost
+                + (checkpoint.state_size + extra) * self.per_byte_cost)
 
     # -- restore -----------------------------------------------------------
+
+    def _index_of(self, checkpoint: Checkpoint) -> int:
+        """Identity-based position lookup (dataclass ``==`` compares by
+        value, and duplicate ``before_seq`` takes are legal)."""
+        for idx, entry in enumerate(self._checkpoints):
+            if entry is checkpoint:
+                return idx
+        raise CheckpointError(
+            f"checkpoint before_seq={checkpoint.before_seq} "
+            "is not in this store")
 
     def latest_before(self, seq: int) -> Optional[Checkpoint]:
         """Newest checkpoint with ``before_seq`` <= ``seq``."""
@@ -90,16 +289,65 @@ class CheckpointStore:
             return None
         return max(candidates, key=lambda c: c.before_seq)
 
+    def materialize(self, checkpoint: Checkpoint) -> bytes:
+        """The full pickled state at ``checkpoint``, reconstructing
+        delta/dedup entries from their chain (restore-equivalent to a
+        full image taken at the same point)."""
+        if checkpoint.kind == FULL:
+            return checkpoint.blob
+        idx = self._index_of(checkpoint)
+        chain: List[Checkpoint] = []
+        base: Optional[Checkpoint] = None
+        for entry in reversed(self._checkpoints[:idx + 1]):
+            if entry.kind == FULL:
+                base = entry
+                break
+            chain.append(entry)
+        if base is None:
+            raise CheckpointError(
+                f"delta chain for before_seq={checkpoint.before_seq} "
+                "has no full image")
+        try:
+            state = pickle.loads(base.blob)
+            for entry in reversed(chain):
+                if entry.kind != DELTA:
+                    continue  # dedup: state unchanged
+                changed, removed = pickle.loads(entry.blob)
+                for key in removed:
+                    state.pop(key, None)
+                for key, blob in changed.items():
+                    state[key] = pickle.loads(blob)
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint chain at "
+                f"before_seq={checkpoint.before_seq}: {exc}") from exc
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
     def restore(self, app, checkpoint: Checkpoint) -> None:
         """Load ``checkpoint`` into ``app`` (the CRIU restore)."""
         try:
-            state = pickle.loads(checkpoint.blob)
+            state = pickle.loads(self.materialize(checkpoint))
+        except CheckpointError:
+            raise
         except Exception as exc:
             raise CheckpointError(
                 f"corrupt checkpoint for {app.name}: {exc}"
             ) from exc
         app.set_state(state)
         self.restored_count += 1
+        # The next delta diffs against the *restored* state, not the
+        # state of the last take (which the rollback just discarded).
+        if isinstance(state, dict):
+            self._prev_key_blobs = self._key_blobs(state)
+            self._prev_hash = self._hash_of(self._prev_key_blobs)
+        else:
+            self._prev_key_blobs = None
+            self._prev_hash = b""
+        # Force the next take to open a fresh chain: entries after the
+        # restored one describe a future the rollback abandoned.
+        self._chain_len = self.full_every
 
     @property
     def count(self) -> int:
@@ -115,3 +363,16 @@ class CheckpointStore:
         """All retained checkpoints, oldest first (§5: "a history of
         snapshots" for multi-event failure recovery)."""
         return list(self._checkpoints)
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for experiment reporting (E7's cost columns)."""
+        return {
+            "taken": self.taken_count,
+            "full": self.full_count,
+            "delta": self.delta_count,
+            "dedup_hits": self.dedup_hits,
+            "evicted": self.evicted_count,
+            "retained_bytes": self.total_bytes,
+            "bytes_written": self.bytes_written,
+            "total_cost": self.total_cost,
+        }

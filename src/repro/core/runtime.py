@@ -39,8 +39,12 @@ class LegoSDNRuntime:
                  channel_base_delay: float = 0.0002,
                  channel_per_byte_delay: float = 2e-8,
                  channel_loss: float = 0.0,
+                 channel_batch: bool = True,
                  checkpoint_base_cost: float = 0.010,
                  checkpoint_per_byte_cost: float = 1e-7,
+                 checkpoint_full_every: int = 8,
+                 checkpoint_delta_cost: float = 0.002,
+                 checkpoint_dedup: bool = True,
                  parallel_lanes: bool = False,
                  seed: int = 0):
         self.controller = controller
@@ -51,8 +55,21 @@ class LegoSDNRuntime:
         self.channel_base_delay = channel_base_delay
         self.channel_per_byte_delay = channel_per_byte_delay
         self.channel_loss = channel_loss
+        #: Batched RPC: coalesce same-instant proxy<->stub frames into
+        #: one datagram per tick (one base_delay, one loss roll).  On
+        #: by default at the runtime level; raw UdpChannel construction
+        #: stays unbatched.
+        self.channel_batch = channel_batch
         self.checkpoint_base_cost = checkpoint_base_cost
         self.checkpoint_per_byte_cost = checkpoint_per_byte_cost
+        #: Incremental checkpointing knobs: a full image every
+        #: ``checkpoint_full_every`` takes with per-key deltas between
+        #: (1 = every checkpoint full, the pre-incremental behaviour),
+        #: ``checkpoint_delta_cost`` as the delta freeze overhead, and
+        #: hash-based skip of unchanged states when ``checkpoint_dedup``.
+        self.checkpoint_full_every = checkpoint_full_every
+        self.checkpoint_delta_cost = checkpoint_delta_cost
+        self.checkpoint_dedup = checkpoint_dedup
         self.seed = seed
         self.crashpad = CrashPad(policy_table=policy_table,
                                  tickets=TicketStore())
@@ -94,6 +111,9 @@ class LegoSDNRuntime:
         store = CheckpointStore(
             base_cost=self.checkpoint_base_cost,
             per_byte_cost=self.checkpoint_per_byte_cost,
+            full_every=self.checkpoint_full_every,
+            delta_base_cost=self.checkpoint_delta_cost,
+            dedup=self.checkpoint_dedup,
         )
         stub = AppVisorStub(
             self.sim, app,
@@ -103,6 +123,7 @@ class LegoSDNRuntime:
             heartbeat_interval=self.heartbeat_interval,
             limits=limits,
             replica_factory=replica_factory,
+            telemetry=self.controller.telemetry,
         )
         channel = UdpChannel(
             self.sim,
@@ -110,6 +131,8 @@ class LegoSDNRuntime:
             per_byte_delay=self.channel_per_byte_delay,
             loss=self.channel_loss,
             seed=self.seed + len(self.stubs),
+            batch=self.channel_batch,
+            telemetry=self.controller.telemetry,
         )
         self.proxy.attach_stub(stub, channel)
         self.stubs[app.name] = stub

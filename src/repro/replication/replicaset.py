@@ -224,6 +224,11 @@ class ReplicaSet:
             base_delay=self.repl_base_delay,
             per_byte_delay=self.repl_per_byte_delay,
             seed=self.seed + int(replica.replica_id[1:]),
+            # Batched shipping: all records/resolves committed in one
+            # sim instant ride one datagram to each backup.
+            batch=True,
+            telemetry=self.primary.controller.telemetry,
+            span_name="replication.ship",
         )
         channel.stub_end.on_frame(
             lambda frame, r=replica: self._on_backup_frame(r, frame))
@@ -482,8 +487,12 @@ class ReplicaSet:
             channel_base_delay=old_runtime.channel_base_delay,
             channel_per_byte_delay=old_runtime.channel_per_byte_delay,
             channel_loss=old_runtime.channel_loss,
+            channel_batch=old_runtime.channel_batch,
             checkpoint_base_cost=old_runtime.checkpoint_base_cost,
             checkpoint_per_byte_cost=old_runtime.checkpoint_per_byte_cost,
+            checkpoint_full_every=old_runtime.checkpoint_full_every,
+            checkpoint_delta_cost=old_runtime.checkpoint_delta_cost,
+            checkpoint_dedup=old_runtime.checkpoint_dedup,
             parallel_lanes=old_runtime.proxy.parallel_lanes,
             seed=old_runtime.seed,
         )

@@ -1,0 +1,141 @@
+"""Indexed, sharded controller dispatch.
+
+The O(listeners) scan and per-event list copy in ``_deliver`` are
+replaced by a type->listener index rebuilt only on (un)registration,
+and events fan out over per-dpid lanes that preserve FIFO under
+re-entrant dispatch.
+"""
+
+import pytest
+
+from repro.controller.api import Command
+from repro.controller.core import Controller
+from repro.network.simulator import Simulator
+
+
+class Event:
+    type_name = "Ev"
+
+    def __init__(self, dpid=None, tag=None):
+        if dpid is not None:
+            self.dpid = dpid
+        self.tag = tag
+
+
+class Other:
+    type_name = "Other"
+
+    def __init__(self, dpid=None):
+        if dpid is not None:
+            self.dpid = dpid
+
+
+@pytest.fixture
+def controller():
+    return Controller(Simulator(seed=0))
+
+
+class TestListenerIndex:
+    def test_version_bumps_only_on_registration_change(self, controller):
+        v0 = controller.listener_version
+        controller.register_listener("a", ["Ev"], lambda e: None)
+        v1 = controller.listener_version
+        assert v1 > v0
+        controller.dispatch(Event())
+        controller.dispatch(Event())
+        assert controller.listener_version == v1
+        assert controller.unregister_listener("a")
+        assert controller.listener_version > v1
+        # A miss does not invalidate anyone's cached plan.
+        version = controller.listener_version
+        assert not controller.unregister_listener("ghost")
+        assert controller.listener_version == version
+
+    def test_index_routes_by_type(self, controller):
+        seen = []
+        controller.register_listener("a", ["Ev"],
+                                     lambda e: seen.append("a"))
+        controller.register_listener("b", ["Other"],
+                                     lambda e: seen.append("b"))
+        controller.register_listener("c", ["Ev", "Other"],
+                                     lambda e: seen.append("c"))
+        controller.dispatch(Event())
+        assert seen == ["a", "c"]
+        seen.clear()
+        controller.dispatch(Other())
+        assert seen == ["b", "c"]
+
+    def test_unregister_keeps_index_consistent(self, controller):
+        seen = []
+        controller.register_listener("a", ["Ev"], lambda e: seen.append("a"))
+        controller.register_listener("b", ["Ev"], lambda e: seen.append("b"))
+        controller.unregister_listener("a")
+        controller.dispatch(Event())
+        assert seen == ["b"]
+
+    def test_registration_order_preserved_and_stop_honoured(self, controller):
+        seen = []
+
+        def stopper(e):
+            seen.append("first")
+            return Command.STOP
+
+        controller.register_listener("first", ["Ev"], stopper)
+        controller.register_listener("second", ["Ev"],
+                                     lambda e: seen.append("second"))
+        controller.dispatch(Event())
+        assert seen == ["first"]
+
+
+class TestShardedLanes:
+    def test_events_route_to_dpid_lanes(self, controller):
+        controller.register_listener("a", ["Ev"], lambda e: None)
+        for dpid in (1, 2, 9, 10):
+            controller.dispatch(Event(dpid=dpid))
+        controller.dispatch(Event())  # no dpid -> controller lane 0
+        shards = controller.dispatch_shards
+        by_lane = controller.dispatches_by_lane
+        assert sum(by_lane) == 5
+        assert by_lane[1 % shards] >= 1
+        assert by_lane[0] >= 1  # the no-dpid event
+
+    def test_reentrant_dispatch_same_lane_is_fifo(self, controller):
+        seen = []
+
+        def listener(event):
+            seen.append(event.tag)
+            if event.tag == "outer":
+                # Re-entrant dispatch to the SAME lane: must queue
+                # behind the in-flight event, not preempt it.
+                controller.dispatch(Event(dpid=1, tag="inner"))
+                seen.append("outer-done")
+
+        controller.register_listener("a", ["Ev"], listener)
+        controller.dispatch(Event(dpid=1, tag="outer"))
+        assert seen == ["outer", "outer-done", "inner"]
+
+    def test_single_shard_still_works(self):
+        controller = Controller(Simulator(seed=0), dispatch_shards=1)
+        seen = []
+        controller.register_listener("a", ["Ev"], lambda e: seen.append(1))
+        controller.dispatch(Event(dpid=5))
+        assert seen == [1]
+        assert controller.dispatches_by_lane == [1]
+
+    def test_crash_clears_queued_events(self, controller):
+        delivered = []
+
+        def boom(event):
+            if event.tag == "outer":
+                controller.dispatch(Event(dpid=1, tag="queued"))
+                raise RuntimeError("bug")
+            delivered.append(event.tag)
+
+        controller.register_listener("a", ["Ev"], boom)
+        controller.dispatch(Event(dpid=1, tag="outer"))
+        assert controller.crashed
+        assert delivered == []  # the queued event died with the process
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            Controller(Simulator(seed=0), dispatch_shards=0)
