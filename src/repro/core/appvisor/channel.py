@@ -56,6 +56,10 @@ class ChannelEndpoint:
         self.bytes_sent += len(data)
         return self._channel._transmit(self._side, data, frames=1)
 
+    def drop_pending(self) -> int:
+        """Discard this side's unflushed frames (its process died)."""
+        return self._channel.drop_pending(self._side)
+
 
 class UdpChannel:
     """A bidirectional, lossy, delayed datagram channel."""

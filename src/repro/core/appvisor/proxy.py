@@ -208,11 +208,14 @@ class AppVisorProxy:
 
         Stops the detection tick and forgets every app so the dead
         deployment can never send restore traffic to stubs that have
-        since re-attached to a promoted backup's proxy.
+        since re-attached to a promoted backup's proxy.  Unflushed
+        proxy-side batches are dropped too: a dead process's send
+        queue never reaches the wire.
         """
         self._stop_tick()
         for record in self.apps.values():
             self.detector.forget(record.name)
+            record.endpoint.drop_pending()
         self.apps.clear()
         if self._listener_registered and not self.controller.crashed:
             self.controller.unregister_listener(self.LISTENER_NAME)

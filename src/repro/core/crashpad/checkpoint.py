@@ -21,6 +21,10 @@ events" -- we go further and make each checkpoint itself cheap):
 - restore materialises a delta entry by loading the chain's full image
   and folding the deltas forward, so restore-equivalence with full
   pickles holds for every chain prefix;
+- restore also *truncates*: entries newer than the restored checkpoint
+  describe a future the rollback abandoned, and are dropped so later
+  takes (dedup aliases, delta diffs) and :meth:`CheckpointStore.
+  latest_before` can never resurrect that timeline's state;
 - eviction past ``keep`` promotes the new oldest entry to a full image
   first, so truncating a chain never strands its deltas.
 
@@ -283,11 +287,17 @@ class CheckpointStore:
             "is not in this store")
 
     def latest_before(self, seq: int) -> Optional[Checkpoint]:
-        """Newest checkpoint with ``before_seq`` <= ``seq``."""
-        candidates = [c for c in self._checkpoints if c.before_seq <= seq]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda c: c.before_seq)
+        """Newest checkpoint with ``before_seq`` <= ``seq``.
+
+        ``before_seq`` is monotonic in the store (takes use the stub's
+        increasing seq counter and restore truncates a suffix), so the
+        reverse scan prefers the newest entry among duplicates -- the
+        one whose state the current timeline actually produced.
+        """
+        for entry in reversed(self._checkpoints):
+            if entry.before_seq <= seq:
+                return entry
+        return None
 
     def materialize(self, checkpoint: Checkpoint) -> bytes:
         """The full pickled state at ``checkpoint``, reconstructing
@@ -326,7 +336,14 @@ class CheckpointStore:
         return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
 
     def restore(self, app, checkpoint: Checkpoint) -> None:
-        """Load ``checkpoint`` into ``app`` (the CRIU restore)."""
+        """Load ``checkpoint`` into ``app`` (the CRIU restore).
+
+        Entries newer than the restored one are dropped: they describe
+        a future the rollback abandoned, and leaving them in place
+        would let a later dedup take alias their (stale) chain -- or a
+        later :meth:`latest_before` pick one -- silently restoring the
+        pre-rollback timeline's state.
+        """
         try:
             state = pickle.loads(self.materialize(checkpoint))
         except CheckpointError:
@@ -337,17 +354,38 @@ class CheckpointStore:
             ) from exc
         app.set_state(state)
         self.restored_count += 1
-        # The next delta diffs against the *restored* state, not the
-        # state of the last take (which the rollback just discarded).
+        self._truncate_after(checkpoint)
+        # The next take diffs (and dedups) against the *restored*
+        # state, not the state of the last take (which the rollback
+        # just discarded).  A dedup may alias the restored entry --
+        # truncation just made it the newest -- which is exactly the
+        # state an unchanged take would re-capture.
         if isinstance(state, dict):
             self._prev_key_blobs = self._key_blobs(state)
             self._prev_hash = self._hash_of(self._prev_key_blobs)
         else:
             self._prev_key_blobs = None
             self._prev_hash = b""
-        # Force the next take to open a fresh chain: entries after the
-        # restored one describe a future the rollback abandoned.
+        # Force the next changed-state take to open a fresh chain.
         self._chain_len = self.full_every
+
+    def _truncate_after(self, checkpoint: Checkpoint) -> None:
+        """Drop every entry newer than ``checkpoint`` (the abandoned
+        future), keeping retention accounting consistent."""
+        try:
+            cut = self._index_of(checkpoint) + 1
+        except CheckpointError:
+            # Restoring a checkpoint no longer in the store (evicted):
+            # everything retained that post-dates it is abandoned.
+            # before_seq is monotonic, so this still removes a suffix.
+            cut = 0
+            while (cut < len(self._checkpoints)
+                   and (self._checkpoints[cut].before_seq
+                        <= checkpoint.before_seq)):
+                cut += 1
+        for entry in self._checkpoints[cut:]:
+            self.total_bytes -= entry.size
+        del self._checkpoints[cut:]
 
     @property
     def count(self) -> int:

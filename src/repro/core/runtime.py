@@ -83,6 +83,14 @@ class LegoSDNRuntime:
         )
         self.stubs: Dict[str, AppVisorStub] = {}
         self.channels: Dict[str, UdpChannel] = {}
+        # The proxy lives in the controller process: when that process
+        # dies, its unflushed batched frames die with it (the stub side
+        # survives and keeps its own pending tail).
+        controller.crash_callbacks.append(self._on_controller_crash)
+
+    def _on_controller_crash(self, exc, culprit) -> None:
+        for channel in self.channels.values():
+            channel.drop_pending("proxy")
 
     # -- app lifecycle ----------------------------------------------------
 

@@ -266,8 +266,13 @@ class ReplicaSet:
         manager.on_resolve.append(resolve)
 
         def on_crash(exc, culprit, replica=replica):
-            if (replica.role is ReplicaRole.PRIMARY
-                    and self._primary_down_at is None):
+            if replica.role is not ReplicaRole.PRIMARY:
+                return
+            # The primary holds the proxy end of every replication
+            # channel: ships/resolves/heartbeats it enqueued this tick
+            # but never flushed die with its process.
+            self._drop_unflushed_replication()
+            if self._primary_down_at is None:
                 self._primary_down_at = self.sim.now
 
         replica.controller.crash_callbacks.append(on_crash)
@@ -393,6 +398,20 @@ class ReplicaSet:
                 log_index=replica.last_ship_index,
             ))
 
+    def _drop_unflushed_replication(self) -> int:
+        """Discard frames the primary batched but never flushed.
+
+        Called when the primary dies (crash callback) and again at
+        failover (covers the partition path, where the old primary's
+        process never crashed but its link to the backups is gone).
+        """
+        dropped = 0
+        for replica in self.replicas:
+            if (replica.role is ReplicaRole.BACKUP
+                    and replica.channel is not None):
+                dropped += replica.channel.drop_pending("proxy")
+        return dropped
+
     # -- failure detection ----------------------------------------------------
 
     def _candidate(self) -> Optional[ControllerReplica]:
@@ -443,6 +462,11 @@ class ReplicaSet:
         down_at = (self._primary_down_at
                    if self._primary_down_at is not None
                    else candidate.last_heartbeat)
+        # The demoted primary's unflushed replication batches never
+        # reach the wire -- its process is dead, or (partition) its
+        # link to the backups is cut.  Must run while the backups'
+        # channels still point at the old primary.
+        self._drop_unflushed_replication()
         old.role = ReplicaRole.DEAD
         old_runtime = old.runtime
         # The dead deployment must never again talk to the stubs (a

@@ -140,6 +140,42 @@ class TestCrashMidBatch:
         assert channel.datagrams_lost == 1
 
 
+class TestCrashPathWiring:
+    """The production crash paths actually drop the unflushed tail."""
+
+    def _runtime(self):
+        from repro.apps import LearningSwitch
+        from repro.controller.core import Controller
+        from repro.core.runtime import LegoSDNRuntime
+
+        sim = Simulator()
+        controller = Controller(sim)
+        runtime = LegoSDNRuntime(controller)
+        runtime.launch_app(LearningSwitch())
+        sim.run_until(0.5)  # registration + first heartbeats settle
+        return sim, controller, runtime
+
+    def test_controller_crash_drops_proxy_side_pending(self):
+        sim, controller, runtime = self._runtime()
+        channel = runtime.channels["learning_switch"]
+        channel.proxy_end.send(beat(1))
+        channel.stub_end.send(beat(2))
+        assert channel.pending_frames("proxy") == 1
+        controller.crash(RuntimeError("die"), culprit="fault-injection")
+        # The proxy died mid-tick: its tail is gone, the surviving
+        # stub's pending frames are not.
+        assert channel.pending_frames("proxy") == 0
+        assert channel.pending_frames("stub") == 1
+
+    def test_proxy_shutdown_drops_proxy_side_pending(self):
+        sim, controller, runtime = self._runtime()
+        channel = runtime.channels["learning_switch"]
+        channel.proxy_end.send(beat(2))
+        assert channel.pending_frames("proxy") == 1
+        runtime.proxy.shutdown()
+        assert channel.pending_frames("proxy") == 0
+
+
 class TestBatchWire:
     def test_frame_batch_roundtrips_through_codec(self):
         frames = tuple(beat(i) for i in range(3))

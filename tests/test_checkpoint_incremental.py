@@ -73,6 +73,9 @@ class TestDeltaChains:
         for checkpoint, reference in taken:
             assert (pickle.loads(store.materialize(checkpoint))
                     == pickle.loads(reference)), checkpoint.kind
+        # Restore truncates the abandoned future, so walk newest-first:
+        # each target is still retained when its turn comes.
+        for checkpoint, reference in reversed(taken):
             replica = DictApp()
             store.restore(replica, checkpoint)
             assert replica.get_state() == pickle.loads(reference)
@@ -144,6 +147,51 @@ class TestDedup:
         repeat = store.take(app, before_seq=2, now=0.0)
         assert repeat.kind == DELTA
         assert store.dedup_hits == 0
+
+
+class TestRestoreTruncation:
+    def test_dedup_take_after_restore_restores_the_restored_state(self):
+        # Regression: take {x:1} (full), take {x:2} (delta), restore to
+        # the first, take the unchanged state (dedup).  The dedup entry
+        # must alias the *restored* chain, not the abandoned delta --
+        # restoring from it has to yield {x:1}, never {x:2}.
+        app = DictApp()
+        store = CheckpointStore(keep=64, full_every=8)
+        app.state = {"x": 1}
+        first = store.take(app, before_seq=1, now=1.0)
+        app.state = {"x": 2}
+        second = store.take(app, before_seq=2, now=2.0)
+        assert first.kind == FULL and second.kind == DELTA
+        store.restore(app, first)
+        assert app.get_state() == {"x": 1}
+        again = store.take(app, before_seq=3, now=3.0)
+        assert again.kind == DEDUP
+        replica = DictApp()
+        store.restore(replica, again)
+        assert replica.get_state() == {"x": 1}
+
+    def test_restore_drops_the_abandoned_future(self):
+        app = DictApp()
+        store = CheckpointStore(keep=64, full_every=4)
+        taken = drive(app, store, MUTATIONS)
+        target = taken[2][0]
+        store.restore(app, target)
+        history = store.history()
+        assert history[-1] is target
+        assert len(history) == 3
+        assert store.latest_before(10 ** 9) is target
+        assert store.total_bytes == sum(cp.size for cp in history)
+
+    def test_latest_before_prefers_the_newest_duplicate(self):
+        app = DictApp()
+        store = CheckpointStore(keep=64, full_every=8)
+        taken = drive(app, store, MUTATIONS[:3])
+        store.restore(app, taken[0][0])
+        retaken = store.take(app, before_seq=1, now=9.0)
+        assert store.latest_before(1) is retaken
+        replica = DictApp()
+        store.restore(replica, retaken)
+        assert replica.get_state() == pickle.loads(taken[0][1])
 
 
 class TestRetention:

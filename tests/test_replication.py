@@ -148,6 +148,44 @@ class TestFailover:
         net.run_for(1.0)
         assert stub.last_seq_done > seq_before
 
+    def test_crash_drops_unflushed_replication_batch(self):
+        # A primary dying mid-tick loses exactly the batched frames it
+        # never flushed: nothing it enqueued in its final instant may
+        # reach a backup after the process is gone.
+        net, runtime, replicas = build(lease_timeout=0.2)
+        backup = replicas.replica("r1")
+        ships_before = backup.ships_received
+        frame = RecordShip(epoch=replicas.epoch,
+                           index=replicas.ship_index + 1,
+                           txn_id=999, app_name="learning_switch",
+                           dpid=1, message=None, inverses=(),
+                           applied_at=net.now)
+        backup.channel.proxy_end.send(frame)
+        assert backup.channel.pending_frames("proxy") == 1
+        replicas.crash_primary()
+        assert backup.channel.pending_frames("proxy") == 0
+        net.run_for(1.0)
+        assert backup.ships_received == ships_before
+        assert 999 not in backup.open_txns
+
+    def test_failover_drops_unflushed_batch_from_partitioned_primary(self):
+        # The partition path never fires the crash callback; the drop
+        # happens at failover, while the backups' channels still point
+        # at the demoted primary.
+        net, runtime, replicas = build(lease_timeout=0.2)
+        net.run_for(0.5)
+        replicas.partition_primary()
+        backup = replicas.replica("r1")
+        backup.channel.proxy_end.send(RecordShip(
+            epoch=replicas.epoch, index=replicas.ship_index + 1,
+            txn_id=998, app_name="learning_switch", dpid=1,
+            message=None, inverses=(), applied_at=net.now))
+        old_channel = backup.channel
+        replicas._failover(backup)
+        assert old_channel.pending_frames("proxy") == 0
+        net.run_for(1.0)
+        assert 998 not in replicas.replica("r1").open_txns
+
     def test_failover_span_and_metrics(self):
         telemetry = Telemetry(enabled=True)
         net, runtime, replicas = build(telemetry=telemetry, lease_timeout=0.2)
