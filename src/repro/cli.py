@@ -7,6 +7,7 @@ Gives operators the common workflows without writing a script:
 - ``replicate``     -- primary-backup failover demo (kill the primary)
 - ``trace``         -- run a scenario with tracing on; print/save the trace
 - ``serve``         -- run a scenario, then serve /metrics over HTTP
+- ``chaos``         -- stress the control channel with seeded faults
 - ``bug-study``     -- replay a synthetic bug corpus (the E1 experiment)
 - ``check-policy``  -- validate a compromise-policy file
 - ``show-topology`` -- describe a builder topology
@@ -308,6 +309,76 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _run_chaos_point(args, loss: float):
+    """One chaos run at a given loss rate; returns the stats dict."""
+    from repro.apps import LearningSwitch
+    from repro.core.runtime import LegoSDNRuntime
+    from repro.faults.netfaults import ChaosProfile
+    from repro.network.net import Network
+    from repro.workloads.traffic import TrafficWorkload
+
+    profile = ChaosProfile(seed=args.seed, loss=loss,
+                           burst_loss=args.burst, duplicate=args.dup,
+                           reorder=args.reorder, corrupt=args.corrupt,
+                           jitter=args.jitter)
+    if args.partition:
+        start, duration = args.partition
+        profile.partition(start, duration)
+    net = Network(_build_topology(args.topology, args.size), seed=args.seed)
+    runtime = LegoSDNRuntime(net.controller,
+                             channel_retry_budget=args.retry_budget,
+                             chaos=lambda name: profile)
+    runtime.launch_app(LearningSwitch())
+    net.start()
+    net.run_for(1.0)
+    TrafficWorkload(net, rate=args.rate, seed=args.seed,
+                    selection="random").start(args.duration * 0.7)
+    net.run_for(args.duration)
+    channel = runtime.channels["learning_switch"]
+    return {
+        "loss": loss,
+        "reachability": net.reachability(wait=1.0),
+        "chaos": profile.stats(),
+        "channel": channel.reliability_stats(),
+        "channel_suspicions": runtime.proxy.stats()[
+            "learning_switch"]["channel_suspicions"],
+        "crashes": runtime.stats()["learning_switch"]["crashes"],
+    }
+
+
+def cmd_chaos(args) -> int:
+    """Drive the control channel through a hostile network and report
+    whether the app layer noticed: delivery stats, reachability, and a
+    non-zero exit when reachability misses the --slo floor."""
+    points = args.sweep if args.sweep else [args.loss]
+    worst = 1.0
+    for loss in points:
+        result = _run_chaos_point(args, loss)
+        chaos, chan = result["chaos"], result["channel"]
+        worst = min(worst, result["reachability"])
+        print(f"loss={loss:.0%}: reachability "
+              f"{result['reachability']:.0%}")
+        print(f"  injected : dropped={chaos['dropped']} "
+              f"duplicated={chaos['duplicated']} "
+              f"reordered={chaos['reordered']} "
+              f"corrupted={chaos['corrupted']} "
+              f"partition_drops={chaos['partition_drops']}")
+        print(f"  repaired : retransmits={chan['retransmits']} "
+              f"dups_dropped={chan['dup_datagrams_dropped']} "
+              f"corrupt_rejected={chan['corrupt_rejected']} "
+              f"abandoned={chan['abandoned']}")
+        print(f"  verdict  : channel faults={chan['faults_raised']} "
+              f"suspicions={result['channel_suspicions']} "
+              f"app crashes={result['crashes']}")
+    if worst < args.slo:
+        print(f"SLO MISS: worst reachability {worst:.0%} "
+              f"< floor {args.slo:.0%}")
+        return 1
+    print(f"SLO met: worst reachability {worst:.0%} "
+          f">= floor {args.slo:.0%}")
+    return 0
+
+
 def cmd_bug_study(args) -> int:
     """Replay a synthetic bug corpus and report the catastrophic rate."""
     from repro.faults import make_bug_corpus
@@ -448,6 +519,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve for this many wall seconds then exit "
                               "(default: until Ctrl-C)")
     p_serve.set_defaults(func=cmd_serve)
+
+    def _partition_spec(text):
+        try:
+            start, duration = (float(part) for part in text.split(":"))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                "expected START:DURATION, e.g. 1.0:0.5")
+        return (start, duration)
+
+    p_chaos = sub.add_parser("chaos", help=cmd_chaos.__doc__)
+    add_topo_args(p_chaos)
+    p_chaos.add_argument("--loss", type=float, default=0.2,
+                         help="datagram loss probability (default 0.2)")
+    p_chaos.add_argument("--burst", type=float, default=0.0,
+                         help="burst-loss probability (default 0)")
+    p_chaos.add_argument("--dup", type=float, default=0.0,
+                         help="duplication probability (default 0)")
+    p_chaos.add_argument("--reorder", type=float, default=0.0,
+                         help="reorder probability (default 0)")
+    p_chaos.add_argument("--corrupt", type=float, default=0.0,
+                         help="bit-flip probability (default 0)")
+    p_chaos.add_argument("--jitter", type=float, default=0.0,
+                         help="extra delay jitter, sim seconds (default 0)")
+    p_chaos.add_argument("--partition", type=_partition_spec, default=None,
+                         metavar="START:DURATION",
+                         help="black out the channel for a window, "
+                              "e.g. 1.0:0.5")
+    p_chaos.add_argument("--retry-budget", type=_positive_int, default=8,
+                         help="retransmissions per datagram (default 8)")
+    p_chaos.add_argument("--duration", type=float, default=5.0)
+    p_chaos.add_argument("--rate", type=float, default=50.0,
+                         help="traffic rate, packets/s (default 50)")
+    p_chaos.add_argument("--sweep", type=lambda t: [
+                             float(x) for x in t.split(",")],
+                         default=None, metavar="L1,L2,...",
+                         help="sweep these loss rates instead of --loss")
+    p_chaos.add_argument("--slo", type=float, default=0.99,
+                         help="reachability floor; exit 1 below it "
+                              "(default 0.99)")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_bugs = sub.add_parser("bug-study", help=cmd_bug_study.__doc__)
     p_bugs.add_argument("--count", type=int, default=100)

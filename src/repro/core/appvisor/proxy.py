@@ -88,6 +88,10 @@ class AppRecord:
     deep_restores: int = 0
     supports_deep_restore: bool = False
     crash_times: List[float] = field(default_factory=list)
+    #: Suspicions the detector attributed to a lossy channel rather
+    #: than the app -- silence Crash-Pad deliberately did NOT treat as
+    #: a crash (no restore of a healthy app over a bad link).
+    channel_suspicions: int = 0
     #: When the current recovery began (failure detection time), for
     #: the crashpad.recovery telemetry span.
     recovery_started_at: float = 0.0
@@ -622,6 +626,20 @@ class AppVisorProxy:
         self.detector.clear(record.name, self.sim.now)
         self._pump(record)
 
+    def note_channel_fault(self, app_name: str, fault) -> None:
+        """The app's channel exhausted its retry budget (link trouble).
+
+        Wired by the runtime to ``UdpChannel.on_fault``.  The detector
+        remembers the fault so the next detection sweep attributes the
+        app's silence to the link instead of declaring it dead.
+        """
+        self.detector.record_channel_fault(app_name, self.sim.now)
+        if self.telemetry.enabled:
+            self.telemetry.tracer.event(
+                "appvisor.channel_fault", app=app_name,
+                side=fault.side, seq=fault.seq, attempts=fault.attempts,
+            )
+
     # -- periodic work -----------------------------------------------------------------
 
     def _tick(self) -> None:
@@ -630,6 +648,13 @@ class AppVisorProxy:
         for suspicion in self.detector.suspects(now):
             record = self.apps.get(suspicion.app_name)
             if record is None or record.status is not AppStatus.UP:
+                continue
+            if suspicion.reason == "channel-fault":
+                # The app is (probably) fine; the link is not.  A
+                # restore would discard healthy state and re-deliver
+                # events into the same bad channel -- do nothing and
+                # let the retry layer / the operator handle the link.
+                record.channel_suspicions += 1
                 continue
             kind = ("hang" if suspicion.reason == "heartbeat-loss"
                     else "fail-stop-silent")
@@ -680,6 +705,7 @@ class AppVisorProxy:
                 "transformed": record.events_transformed,
                 "byzantine": record.byzantine_count,
                 "deep_restores": record.deep_restores,
+                "channel_suspicions": record.channel_suspicions,
             }
             for name, record in self.apps.items()
         }

@@ -28,6 +28,7 @@ ContextPush         proxy->stub  topology/host cache refresh
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -177,6 +178,78 @@ class FrameBatch:
     """
 
     frames: Tuple[object, ...]
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class SeqEnvelope:
+    """Reliable-delivery wrapper around one datagram's payload.
+
+    A reliable channel numbers every data datagram per direction
+    (``seq``), carries the already-encoded frame bytes as ``payload``
+    (checksummed with ``crc`` so injected corruption is *detected*, not
+    silently parsed into a wrong frame), and advertises ``floor`` --
+    the lowest seq the sender still guarantees to deliver.  A receiver
+    seeing ``floor`` jump past a gap knows the sender has exhausted its
+    retry budget on the missing datagrams and stops waiting for them
+    (otherwise in-order delivery would wedge forever behind a datagram
+    that will never come).
+    """
+
+    seq: int
+    floor: int
+    crc: int
+    payload: bytes
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class ChannelAck:
+    """Cumulative acknowledgement: every data seq <= ``cumulative`` has
+    been delivered (or intentionally skipped under an advanced floor).
+
+    Acks are fire-and-forget -- never numbered, never retransmitted.
+    Losing one is harmless because the next ack covers it.  They *are*
+    checksummed: a bit-flip in ``cumulative`` could otherwise falsely
+    acknowledge data the receiver never saw, turning corruption into
+    silent loss.
+    """
+
+    cumulative: int
+    crc: int = 0
+
+
+def _header_crc(seq: int, floor: int, payload: bytes) -> int:
+    """CRC over the envelope's header *and* payload.
+
+    Covering ``seq``/``floor`` too means a flip in the header -- which
+    would otherwise re-file an intact payload under the wrong sequence
+    number -- is rejected just like a mangled payload.
+    """
+    return zlib.crc32(payload, zlib.crc32(b"%d|%d|" % (seq, floor)))
+
+
+def envelope_for(seq: int, floor: int, payload: bytes) -> SeqEnvelope:
+    """Build a checksummed reliable-delivery envelope."""
+    return SeqEnvelope(seq=seq, floor=floor,
+                       crc=_header_crc(seq, floor, payload),
+                       payload=payload)
+
+
+def envelope_intact(env: SeqEnvelope) -> bool:
+    """Whether header and payload survived the wire unmodified."""
+    return _header_crc(env.seq, env.floor, env.payload) == env.crc
+
+
+def ack_for(cumulative: int) -> ChannelAck:
+    """Build a checksummed cumulative acknowledgement."""
+    return ChannelAck(cumulative=cumulative,
+                      crc=zlib.crc32(b"%d" % cumulative))
+
+
+def ack_intact(ack: ChannelAck) -> bool:
+    """Whether the ack's cumulative field survived the wire."""
+    return zlib.crc32(b"%d" % ack.cumulative) == ack.crc
 
 
 def encode_frame(frame) -> bytes:

@@ -40,6 +40,9 @@ class LegoSDNRuntime:
                  channel_per_byte_delay: float = 2e-8,
                  channel_loss: float = 0.0,
                  channel_batch: bool = True,
+                 channel_reliable: bool = True,
+                 channel_retry_budget: int = 8,
+                 chaos=None,
                  checkpoint_base_cost: float = 0.010,
                  checkpoint_per_byte_cost: float = 1e-7,
                  checkpoint_full_every: int = 8,
@@ -60,6 +63,17 @@ class LegoSDNRuntime:
         #: by default at the runtime level; raw UdpChannel construction
         #: stays unbatched.
         self.channel_batch = channel_batch
+        #: Reliable RPC: seq/ack/retransmit/dedup on every proxy<->stub
+        #: channel, so loss, duplication, and reordering degrade into
+        #: latency instead of wedged event loops.  On by default -- at
+        #: 0% loss the only cost is the envelope bytes and the ack
+        #: datagrams, neither on the event critical path.
+        self.channel_reliable = channel_reliable
+        self.channel_retry_budget = channel_retry_budget
+        #: Optional chaos injection: a ChaosProfile applied to every
+        #: app channel, or a callable ``app_name -> profile-or-None``
+        #: for per-app profiles.
+        self.chaos = chaos
         self.checkpoint_base_cost = checkpoint_base_cost
         self.checkpoint_per_byte_cost = checkpoint_per_byte_cost
         #: Incremental checkpointing knobs: a full image every
@@ -133,6 +147,7 @@ class LegoSDNRuntime:
             replica_factory=replica_factory,
             telemetry=self.controller.telemetry,
         )
+        chaos = self.chaos(app.name) if callable(self.chaos) else self.chaos
         channel = UdpChannel(
             self.sim,
             base_delay=self.channel_base_delay,
@@ -140,8 +155,16 @@ class LegoSDNRuntime:
             loss=self.channel_loss,
             seed=self.seed + len(self.stubs),
             batch=self.channel_batch,
+            reliable=self.channel_reliable,
+            retry_budget=self.channel_retry_budget,
+            chaos=chaos,
             telemetry=self.controller.telemetry,
         )
+        # Retry-budget exhaustion is a *link* verdict: route it to the
+        # detector so Crash-Pad blames the channel, not the app.
+        channel.on_fault.append(
+            lambda fault, name=app.name:
+                self.proxy.note_channel_fault(name, fault))
         self.proxy.attach_stub(stub, channel)
         self.stubs[app.name] = stub
         self.channels[app.name] = channel

@@ -1,9 +1,13 @@
-"""Fault injection: the synthetic bug corpus and the app wrapper.
+"""Fault injection: the synthetic bug corpus, the app wrapper, and the
+network chaos plane.
 
 Models the paper's FlowScale bug-tracker study (§2.1: 16% of reported
 bugs were catastrophic) and its fault taxonomy: fail-stop crashes,
 hangs, and byzantine failures (output that violates network
-invariants), each deterministic or non-deterministic.
+invariants), each deterministic or non-deterministic.  The chaos plane
+(:mod:`repro.faults.netfaults`) extends the taxonomy below the app:
+seeded loss, duplication, reordering, corruption, and partitions on
+the control channels themselves.
 """
 
 from repro.faults.bugs import (
@@ -15,15 +19,18 @@ from repro.faults.bugs import (
     make_bug_corpus,
 )
 from repro.faults.injector import FaultyApp, PartialPolicyApp, crash_on
+from repro.faults.netfaults import ChaosProfile, PartitionWindow
 
 __all__ = [
     "AppHang",
     "Bug",
     "BugKind",
     "CATASTROPHIC_KINDS",
+    "ChaosProfile",
     "FaultyApp",
     "InjectedBugError",
     "PartialPolicyApp",
+    "PartitionWindow",
     "crash_on",
     "make_bug_corpus",
 ]

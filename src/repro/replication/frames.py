@@ -16,6 +16,7 @@ RecordShip     primary->backup  one WAL append (message + its inverses)
 TxnResolve     primary->backup  a transaction committed or aborted
 ReplHeartbeat  primary->backup  lease renewal + log position + app deltas
 ReplAck        backup->primary  cumulative ack of the applied log prefix
+ResyncRequest  backup->primary  ranged replay request after partition heal
 =============  ===============  ==========================================
 
 Records ship on WAL *apply* but backups fold them into their shadow
@@ -84,6 +85,11 @@ class TxnResolve:
     txn_id: int
     outcome: str
     log_index: int
+    #: Set-level resolve sequence (1-based, monotonic across
+    #: failovers -- unlike ``txn_id``, which restarts with each
+    #: promoted primary's fresh TransactionManager).  Backups dedup
+    #: and gap-detect resolves on this, never on ``txn_id``.
+    resolve_seq: int = 0
 
 
 @register_dataclass
@@ -100,13 +106,48 @@ class ReplHeartbeat:
     log_index: int
     sent_at: float
     app_deltas: Tuple[AppDelta, ...] = ()
+    #: Total transaction resolves shipped so far -- the second lag
+    #: axis: a backup can be caught up on records yet missing the
+    #: resolve that folds them (partition sliced mid-transaction).
+    resolve_count: int = 0
 
 
 @register_dataclass
 @dataclass(frozen=True)
 class ReplAck:
-    """Backup's cumulative acknowledgement (flow-control/telemetry)."""
+    """Backup's cumulative acknowledgement.
+
+    Flow-control/telemetry in async mode; in quorum mode the primary
+    counts these toward majority before declaring a commit durable.
+    """
 
     replica_id: str
     epoch: int
     log_index: int
+    #: How many resolves this backup has processed (quorum mode counts
+    #: a commit as acked once the backup's resolve count passes it).
+    resolve_count: int = 0
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class ResyncRequest:
+    """A healed backup asking for a *ranged* NetLog replay.
+
+    Sent when a heartbeat advertises ``log_index``/``resolve_count``
+    ahead of what the backup contiguously holds -- the signature of a
+    partition window in which the shipping channel's retry budgets
+    were exhausted.  ``from_index`` is the backup's contiguous high
+    -water mark: the primary replays only records with index >
+    ``from_index`` (and the resolves folding them), never the full
+    log.
+    """
+
+    replica_id: str
+    epoch: int
+    from_index: int
+    to_index: int
+    #: Contiguous resolve high-water mark: the primary replays
+    #: resolves with ``resolve_seq`` past this too (a partition can
+    #: slice between a transaction's records and its resolve).
+    from_resolve: int = 0

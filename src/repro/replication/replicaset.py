@@ -21,8 +21,8 @@ their checkpoints and journals intact.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set
 
 from repro.controller.core import Controller
 from repro.core.runtime import LegoSDNRuntime
@@ -35,6 +35,7 @@ from repro.replication.frames import (
     RecordShip,
     ReplAck,
     ReplHeartbeat,
+    ResyncRequest,
     TxnResolve,
 )
 from repro.telemetry import Telemetry
@@ -75,6 +76,23 @@ class ControllerReplica:
     stale_frames: int = 0
     #: Primary-side view: highest log index this backup has acked.
     acked_index: int = 0
+    #: Primary-side view: highest resolve count this backup has acked
+    #: (quorum mode counts commits durable off this).
+    acked_resolves: int = 0
+    #: Every ship index this backup has seen (dedup for resync replay).
+    seen_indices: Set[int] = field(default_factory=set)
+    #: Highest N such that every index 1..N has been seen -- the
+    #: high-water mark a ResyncRequest replays from.
+    contig_index: int = 0
+    #: Every resolve_seq this backup has processed (dedup; txn_id is
+    #: NOT usable for this -- it restarts with each promoted primary).
+    seen_resolve_seqs: Set[int] = field(default_factory=set)
+    #: Highest N with every resolve_seq 1..N processed.
+    contig_resolves: int = 0
+    #: Re-shipped frames discarded because this backup already had them.
+    resync_dups: int = 0
+    resync_requests: int = 0
+    resync_requested_at: float = float("-inf")
 
     @property
     def is_live(self) -> bool:
@@ -120,6 +138,12 @@ class ReplicaSet:
                  repl_per_byte_delay: float = 2e-8,
                  replay_window: float = 0.5,
                  stats_interval: float = 0.25,
+                 repl_reliable: bool = True,
+                 repl_retry_budget: int = 6,
+                 chaos=None,
+                 quorum: bool = False,
+                 quorum_timeout: float = 0.25,
+                 resync_cooldown: float = 0.1,
                  seed: int = 0):
         if backups < 1:
             raise ValueError("a replica set needs at least one backup")
@@ -134,9 +158,41 @@ class ReplicaSet:
         self.repl_per_byte_delay = repl_per_byte_delay
         self.replay_window = replay_window
         self.stats_interval = stats_interval
+        #: Reliable shipping channels (seq/ack/retransmit) so transient
+        #: loss never silently skips a log record; long partitions still
+        #: exhaust the budget and create gaps -- which the ranged
+        #: resync below repairs on heal.
+        self.repl_reliable = repl_reliable
+        self.repl_retry_budget = repl_retry_budget
+        #: Optional chaos: a ChaosProfile for every backup channel, or
+        #: a callable ``replica_id -> profile-or-None``.
+        self.chaos = chaos
+        #: Quorum (majority-ack) commit mode: a commit is *durable*
+        #: only once a majority of live replicas (primary included)
+        #: acked its resolve.  A quorum missing past
+        #: ``quorum_timeout`` degrades that commit to async shipping
+        #: (availability over durability), flagged in stats.
+        self.quorum = quorum
+        self.quorum_timeout = quorum_timeout
+        #: Min gap between ResyncRequests from one backup, so a slow
+        #: replay is not re-requested every heartbeat.
+        self.resync_cooldown = resync_cooldown
         self.seed = seed
         self.epoch = 0
         self.ship_index = 0
+        #: Total resolves shipped (the heartbeat's second lag axis).
+        self.resolve_count = 0
+        #: Everything shipped this epoch, in ship order, for ranged
+        #: resync replay: ("record", RecordShip) | ("resolve", TxnResolve).
+        self.ship_history: List[tuple] = []
+        self.resyncs_served = 0
+        self.resync_records_sent = 0
+        self.quorum_commits = 0
+        self.quorum_stalls = 0
+        self.quorum_degraded = False
+        #: Commits awaiting majority ack: txn_id -> (resolve seq,
+        #: shipped_at).
+        self._pending_quorum: Dict[int, tuple] = {}
         self.failovers: List[FailoverRecord] = []
         self.fence = EpochFence(epoch=0)
         for switch in net.switches.values():
@@ -219,6 +275,8 @@ class ReplicaSet:
         to an app.  Called again after every failover: the promoted
         primary opens fresh channels to the surviving backups.
         """
+        chaos = (self.chaos(replica.replica_id) if callable(self.chaos)
+                 else self.chaos)
         channel = UdpChannel(
             self.sim,
             base_delay=self.repl_base_delay,
@@ -227,6 +285,9 @@ class ReplicaSet:
             # Batched shipping: all records/resolves committed in one
             # sim instant ride one datagram to each backup.
             batch=True,
+            reliable=self.repl_reliable,
+            retry_budget=self.repl_retry_budget,
+            chaos=chaos,
             telemetry=self.primary.controller.telemetry,
             span_name="replication.ship",
         )
@@ -318,6 +379,7 @@ class ReplicaSet:
             inverses=tuple(record.inverse_messages),
             applied_at=record.applied_at,
         )
+        self.ship_history.append(("record", frame))
         for replica in self.live_backups():
             replica.channel.proxy_end.send(frame)
         primary = self.primary
@@ -325,14 +387,22 @@ class ReplicaSet:
             primary.telemetry.metrics.inc("replication.ships")
 
     def _ship_resolve(self, txn, outcome: str) -> None:
+        self.resolve_count += 1
         frame = TxnResolve(
             epoch=self.epoch,
             txn_id=txn.txn_id,
             outcome=outcome,
             log_index=self.ship_index,
+            resolve_seq=self.resolve_count,
         )
+        self.ship_history.append(("resolve", frame))
         for replica in self.live_backups():
             replica.channel.proxy_end.send(frame)
+        if self.quorum and outcome == "commit":
+            self._pending_quorum[frame.resolve_seq] = self.sim.now
+            self.sim.schedule(self.quorum_timeout,
+                              self._quorum_deadline, frame.resolve_seq,
+                              self.epoch)
 
     def _primary_heartbeat(self, replica: ControllerReplica) -> None:
         deltas = tuple(
@@ -345,6 +415,7 @@ class ReplicaSet:
             log_index=self.ship_index,
             sent_at=self.sim.now,
             app_deltas=deltas,
+            resolve_count=self.resolve_count,
         )
         for backup in self.live_backups():
             backup.channel.proxy_end.send(frame)
@@ -352,9 +423,105 @@ class ReplicaSet:
             replica.telemetry.metrics.inc("replication.heartbeats")
 
     def _on_primary_frame(self, replica: ControllerReplica, frame) -> None:
-        """Primary-side receive: cumulative acks from one backup."""
-        if isinstance(frame, ReplAck) and frame.epoch == self.epoch:
+        """Primary-side receive: acks and resync requests from backups."""
+        if getattr(frame, "epoch", self.epoch) != self.epoch:
+            replica.stale_frames += 1
+            return
+        if isinstance(frame, ReplAck):
             replica.acked_index = max(replica.acked_index, frame.log_index)
+            replica.acked_resolves = max(replica.acked_resolves,
+                                         frame.resolve_count)
+            if self.quorum and self._pending_quorum:
+                self._check_quorum()
+        elif isinstance(frame, ResyncRequest):
+            self._serve_resync(replica, frame)
+
+    # -- partition-heal resync (primary side) -------------------------------
+
+    def _serve_resync(self, replica: ControllerReplica,
+                      request: ResyncRequest) -> None:
+        """Replay the requested range to one lagging backup.
+
+        Ranged, not full-log: only records with index > ``from_index``
+        (plus the resolves at or past it, which fold them) are
+        re-shipped.  The backup's seen/resolved sets make redelivery
+        idempotent, so overlap at the range edge is harmless.
+        """
+        started = self.sim.now
+        sent = 0
+        for kind, frame in self.ship_history:
+            if kind == "record" and frame.index > request.from_index:
+                pass
+            elif (kind == "resolve"
+                    and frame.resolve_seq > request.from_resolve):
+                pass
+            else:
+                continue
+            if frame.epoch != self.epoch:
+                # Re-ship as the current primary's own: the record
+                # content is epoch-independent, only the fencing tag
+                # must be fresh or the backup drops it as stale.
+                frame = replace(frame, epoch=self.epoch)
+            replica.channel.proxy_end.send(frame)
+            sent += 1
+        self.resyncs_served += 1
+        self.resync_records_sent += sent
+        primary = self.primary
+        if primary is not None and primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.resyncs")
+            primary.telemetry.tracer.record_span(
+                "replication.resync", start=started,
+                replica=replica.replica_id,
+                from_index=request.from_index,
+                to_index=request.to_index, frames=sent)
+
+    # -- quorum commit (primary side) ---------------------------------------
+
+    def _majority(self) -> int:
+        live = 1 + len(self.live_backups())  # primary counts itself
+        return live // 2 + 1
+
+    def _check_quorum(self) -> None:
+        """Retire pending commits whose resolve a majority has acked."""
+        needed = self._majority()
+        for resolve_seq in sorted(self._pending_quorum):
+            shipped_at = self._pending_quorum[resolve_seq]
+            acks = 1 + sum(
+                1 for backup in self.live_backups()
+                if backup.acked_resolves >= resolve_seq)
+            if acks >= needed:
+                del self._pending_quorum[resolve_seq]
+                self.quorum_commits += 1
+                self.quorum_degraded = False
+                primary = self.primary
+                if primary is not None and primary.telemetry.enabled:
+                    primary.telemetry.metrics.inc(
+                        "replication.quorum_commits")
+                    primary.telemetry.metrics.observe(
+                        "replication.quorum_latency",
+                        self.sim.now - shipped_at)
+
+    def _quorum_deadline(self, resolve_seq: int, epoch: int) -> None:
+        """A commit's quorum window closed: degrade it to async.
+
+        Graceful degradation, not blocking: the primary already applied
+        the transaction (NetLog committed it); what is lost is only the
+        durability guarantee, so the commit is released as async and
+        the set flagged degraded until a later commit reaches quorum.
+        """
+        if epoch != self.epoch:
+            return
+        entry = self._pending_quorum.pop(resolve_seq, None)
+        if entry is None:
+            return  # quorum arrived in time
+        self.quorum_stalls += 1
+        self.quorum_degraded = True
+        primary = self.primary
+        if primary is not None and primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.quorum_stalls")
+            primary.telemetry.tracer.event(
+                "replication.quorum_stall", resolve_seq=resolve_seq,
+                majority=self._majority())
 
     # -- backup side: the replicated log ------------------------------------
 
@@ -366,12 +533,25 @@ class ReplicaSet:
             replica.stale_frames += 1
             return
         if isinstance(frame, RecordShip):
+            if frame.index in replica.seen_indices:
+                # Resync overlap (or a network dup the channel let by):
+                # already held, never double-counted or double-folded.
+                replica.resync_dups += 1
+                return
+            replica.seen_indices.add(frame.index)
+            while replica.contig_index + 1 in replica.seen_indices:
+                replica.contig_index += 1
             replica.ships_received += 1
             replica.last_ship_index = max(replica.last_ship_index, frame.index)
             replica.open_txns.setdefault(frame.txn_id, []).append(frame)
             if replica.telemetry.enabled:
                 replica.telemetry.metrics.inc("replication.ships_received")
+            if self.quorum:
+                self._send_ack(replica)
         elif isinstance(frame, TxnResolve):
+            # Idempotent by construction: a record enters open_txns at
+            # most once (seen_indices), so re-processing a resolve after
+            # a resync folds only records the first pass never had.
             records = replica.open_txns.pop(frame.txn_id, [])
             if frame.outcome == "commit":
                 # Fold at commit-resolve, stamping each entry with the
@@ -387,16 +567,62 @@ class ReplicaSet:
             # On abort: discard.  The primary already sent the inverses
             # to the switches itself, and its own shadow never kept the
             # aborted writes either.
+            if frame.resolve_seq in replica.seen_resolve_seqs:
+                replica.resync_dups += 1
+            else:
+                replica.seen_resolve_seqs.add(frame.resolve_seq)
+                while (replica.contig_resolves + 1
+                       in replica.seen_resolve_seqs):
+                    replica.contig_resolves += 1
+            if self.quorum:
+                self._send_ack(replica)
         elif isinstance(frame, ReplHeartbeat):
             replica.last_heartbeat = self.sim.now
             replica.app_progress = {
                 delta.app_name: delta for delta in frame.app_deltas
             }
-            replica.channel.stub_end.send(ReplAck(
-                replica_id=replica.replica_id,
-                epoch=self.epoch,
-                log_index=replica.last_ship_index,
-            ))
+            self._maybe_request_resync(replica, frame)
+            self._send_ack(replica)
+
+    def _send_ack(self, replica: ControllerReplica) -> None:
+        replica.channel.stub_end.send(ReplAck(
+            replica_id=replica.replica_id,
+            epoch=self.epoch,
+            log_index=replica.last_ship_index,
+            resolve_count=replica.contig_resolves,
+        ))
+
+    def _maybe_request_resync(self, replica: ControllerReplica,
+                              heartbeat: ReplHeartbeat) -> None:
+        """Backup-side lag detection on heartbeat (the heal signal).
+
+        During a partition nothing arrives, so the *first heartbeat
+        through* is also the first moment the backup can compare the
+        primary's advertised position against what it contiguously
+        holds.  A gap in either axis -- records or resolves -- asks for
+        a ranged replay instead of waiting for full-log heartbeat
+        repair that never comes.
+        """
+        behind = (heartbeat.log_index > replica.contig_index
+                  or heartbeat.resolve_count > replica.contig_resolves)
+        if not behind:
+            return
+        if self.sim.now - replica.resync_requested_at < self.resync_cooldown:
+            return  # one outstanding request at a time
+        replica.resync_requested_at = self.sim.now
+        replica.resync_requests += 1
+        if replica.telemetry.enabled:
+            replica.telemetry.tracer.event(
+                "replication.resync_request",
+                from_index=replica.contig_index,
+                to_index=heartbeat.log_index)
+        replica.channel.stub_end.send(ResyncRequest(
+            replica_id=replica.replica_id,
+            epoch=self.epoch,
+            from_index=replica.contig_index,
+            to_index=heartbeat.log_index,
+            from_resolve=replica.contig_resolves,
+        ))
 
     def _drop_unflushed_replication(self) -> int:
         """Discard frames the primary batched but never flushed.
@@ -483,7 +709,10 @@ class ReplicaSet:
         # 1. Advance the epoch and fence the old one out of every
         # switch BEFORE the new primary exists: from this instant the
         # old primary's writes -- even ones already in flight -- are
-        # rejected at delivery.
+        # rejected at delivery.  Commits the old primary was holding
+        # for quorum die with its epoch (their deadline callbacks
+        # no-op on the epoch guard).
+        self._pending_quorum.clear()
         self.epoch += 1
         self.fence.advance(self.epoch)
         candidate.role = ReplicaRole.PRIMARY
@@ -638,6 +867,27 @@ class ReplicaSet:
             total += len(real ^ want)
         return total
 
+    def shadow_divergence(self, replica_id: str) -> int:
+        """Rule-set disagreement between a backup's folded shadow and the
+        primary's committed NetLog shadow: the size of the symmetric
+        difference of (match, priority, actions) identities summed over
+        switches.  Zero means the backup could promote right now and
+        lose nothing -- the property a partition-healed resync restores
+        (E17 asserts it)."""
+        primary = self.primary
+        backup = self.replica(replica_id)
+        if primary is None or primary.runtime is None:
+            return -1
+        manager = primary.runtime.proxy.manager
+        total = 0
+        for dpid in set(manager.shadow) | set(backup.shadow):
+            want = {(repr(e.match), e.priority, repr(tuple(e.actions)))
+                    for e in manager.shadow.get(dpid, ())}
+            got = {(repr(e.match), e.priority, repr(tuple(e.actions)))
+                   for e in backup.shadow.get(dpid, ())}
+            total += len(want ^ got)
+        return total
+
     def stats(self) -> Dict[str, object]:
         """Summary counters for experiment reporting."""
         return {
@@ -646,12 +896,19 @@ class ReplicaSet:
             "failovers": len(self.failovers),
             "shipped": self.ship_index,
             "fenced_writes": self.fence.fenced_writes,
+            "resyncs": self.resyncs_served,
+            "resync_records_sent": self.resync_records_sent,
+            "quorum_commits": self.quorum_commits,
+            "quorum_stalls": self.quorum_stalls,
+            "quorum_degraded": self.quorum_degraded,
             "replicas": {
                 r.replica_id: {
                     "role": r.role.value,
                     "ships_received": r.ships_received,
                     "lag": self.backup_lag(r),
                     "stale_frames": r.stale_frames,
+                    "resync_requests": r.resync_requests,
+                    "resync_dups": r.resync_dups,
                 }
                 for r in self.replicas
             },

@@ -215,6 +215,7 @@ class TestRuntimeSurface:
         stats = runtime.stats()["learning_switch"]
         assert set(stats) == {"dispatched", "completed", "crashes",
                               "recoveries", "skipped", "transformed",
-                              "byzantine", "deep_restores"}
+                              "byzantine", "deep_restores",
+                              "channel_suspicions"}
         assert runtime.total_crashes() == 0
         assert runtime.total_recoveries() == 0

@@ -139,3 +139,37 @@ class TestCommands:
         assert "serving telemetry on http://127.0.0.1:" in out
         assert "repro_" in captured["metrics"]
         assert "controller=up" in captured["health"]
+
+
+class TestChaosCommand:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.loss == 0.2
+        assert args.retry_budget == 8
+        assert args.slo == 0.99
+        assert args.sweep is None
+
+    def test_partition_spec_parses(self):
+        args = build_parser().parse_args(["chaos", "--partition", "1.0:0.5"])
+        assert args.partition == (1.0, 0.5)
+
+    def test_partition_spec_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--partition", "soon"])
+
+    def test_chaos_meets_slo_under_loss(self, capsys):
+        code = main(["chaos", "--loss", "0.2", "--dup", "0.05",
+                     "--reorder", "0.05", "--duration", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SLO met" in out
+        assert "retransmits=" in out
+
+    def test_chaos_sweep_and_slo_miss(self, capsys):
+        # retry budget 0 under heavy loss: the channel abandons and
+        # reachability drops below any sane floor -> exit 1.
+        code = main(["chaos", "--sweep", "0.6", "--retry-budget", "1",
+                     "--duration", "3", "--slo", "0.99"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SLO MISS" in out

@@ -257,6 +257,84 @@ class TestDetector:
         assert detector.suspects(100.0) == []
 
 
+class TestChannelFaultSuspicion:
+    """Retransmit-exhausted channels reclassify silence: "channel
+    lossy" must not read as "app dead" (no restore over a bad link)."""
+
+    def test_recent_channel_fault_reclassifies_heartbeat_loss(self):
+        detector = FailureDetector(heartbeat_timeout=0.3,
+                                   channel_fault_window=1.0)
+        detector.register("app", 0.0)
+        detector.record_channel_fault("app", 0.2)
+        suspicions = detector.suspects(0.6)
+        assert [s.reason for s in suspicions] == ["channel-fault"]
+
+    def test_recent_channel_fault_reclassifies_event_timeout(self):
+        detector = FailureDetector(event_timeout=0.5,
+                                   channel_fault_window=1.0)
+        detector.register("app", 0.0)
+        detector.record_dispatch("app", 1, 0.0)
+        detector.record_heartbeat("app", 0.55)
+        detector.record_channel_fault("app", 0.55)
+        suspicions = detector.suspects(0.6)
+        assert [s.reason for s in suspicions] == ["channel-fault"]
+        # The offending seq still rides along for diagnostics.
+        assert suspicions[0].inflight_seq == 1
+
+    def test_stale_channel_fault_does_not_mask_death(self):
+        detector = FailureDetector(heartbeat_timeout=0.3,
+                                   channel_fault_window=0.5)
+        detector.register("app", 0.0)
+        detector.record_channel_fault("app", 0.0)
+        # Long past the window: the link healed, the app is still
+        # silent -- that IS a dead app.
+        suspicions = detector.suspects(2.0)
+        assert [s.reason for s in suspicions] == ["heartbeat-loss"]
+
+    def test_healthy_app_never_suspected_for_channel_fault_alone(self):
+        detector = FailureDetector(heartbeat_timeout=0.3)
+        detector.register("app", 0.0)
+        detector.record_channel_fault("app", 0.1)
+        detector.record_heartbeat("app", 0.2)
+        # Heartbeats still flowing: no suspicion of any kind.
+        assert detector.suspects(0.3) == []
+
+    def test_fault_bookkeeping(self):
+        detector = FailureDetector()
+        detector.register("app", 0.0)
+        detector.record_channel_fault("app", 1.0)
+        detector.record_channel_fault("app", 2.0)
+        health = detector.health_of("app")
+        assert health.channel_faults == 2
+        assert health.channel_fault_at == 2.0
+        # Unknown apps are ignored, not crashed on.
+        detector.record_channel_fault("ghost", 1.0)
+
+    def test_proxy_skips_restore_on_channel_fault(self):
+        """End-to-end: budget exhaustion -> detector -> proxy _tick
+        counts a channel suspicion instead of restoring the app."""
+        from repro.apps import LearningSwitch
+        from repro.controller.core import Controller
+        from repro.core.runtime import LegoSDNRuntime
+        from repro.faults.netfaults import ChaosProfile
+        from repro.network.simulator import Simulator
+
+        sim = Simulator()
+        controller = Controller(sim)
+        profile = ChaosProfile(seed=0)
+        # Long blackout: retry budgets exhaust, heartbeats vanish.
+        profile.partition(0.5, 2.0)
+        runtime = LegoSDNRuntime(controller, chaos=profile,
+                                 channel_retry_budget=3)
+        runtime.launch_app(LearningSwitch())
+        sim.run_until(2.0)
+        record = runtime.record("learning_switch")
+        assert record.channel_suspicions > 0
+        # The app was never "recovered": no crash ticket, no restore.
+        assert record.crash_count == 0
+        assert record.status.value == "up"
+
+
 class TestTickets:
     def test_ids_increment(self):
         store = TicketStore()

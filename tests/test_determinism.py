@@ -87,3 +87,45 @@ class TestDeterminism:
             return reach, net.sim.events_processed
 
         assert run(11) == run(11)
+
+
+class TestDeterminismUnderChaos:
+    """The chaos plane must not cost reproducibility: a seeded
+    ChaosProfile is part of the run's seed, so identical (seed, profile)
+    pairs give bit-identical runs -- fault injection included."""
+
+    @staticmethod
+    def _chaos_run(seed, chaos_seed):
+        from repro.faults.netfaults import ChaosProfile
+
+        profile = ChaosProfile(seed=chaos_seed, loss=0.15, duplicate=0.05,
+                               reorder=0.05, corrupt=0.02, jitter=0.0005)
+        profile.partition(1.2, 0.4)
+        net = Network(ring_topology(4, 1), seed=seed)
+        runtime = LegoSDNRuntime(net.controller, channel_retry_budget=12,
+                                 chaos=lambda name: profile)
+        runtime.launch_app(LearningSwitch())
+        net.start()
+        net.run_for(0.5)
+        TrafficWorkload(net, rate=40, seed=seed,
+                        selection="random").start(2.0)
+        net.run_for(3.0)
+        channel = runtime.channels["learning_switch"]
+        return {
+            "events": net.sim.events_processed,
+            "stats": runtime.stats(),
+            "chaos": profile.stats(),
+            "channel": channel.reliability_stats(),
+            "tables": tuple(
+                (dpid, sw.flow_table.fingerprint(include_counters=True))
+                for dpid, sw in sorted(net.switches.items())
+            ),
+        }
+
+    def test_chaos_run_is_bit_reproducible(self):
+        assert self._chaos_run(7, 3) == self._chaos_run(7, 3)
+
+    def test_chaos_seed_feeds_the_run(self):
+        a = self._chaos_run(7, 3)
+        b = self._chaos_run(7, 4)
+        assert a["chaos"] != b["chaos"]

@@ -1,0 +1,193 @@
+"""The reliable-delivery layer: seq/ack, retransmit, dedup, reorder,
+floor advance, and retry-budget exhaustion surfacing as ChannelFault.
+
+Companion to tests/test_channel_batching.py (which pins the plain and
+batched channels): everything here runs with ``reliable=True``.
+"""
+
+import pytest
+
+from repro.core.appvisor.channel import ChannelFault, UdpChannel
+from repro.core.appvisor.rpc import Heartbeat
+from repro.faults.netfaults import ChaosProfile
+from repro.network.simulator import Simulator
+
+
+def beat(seq):
+    return Heartbeat(app_name="app", stub_time=0.0, last_seq_done=seq)
+
+
+def make(sim, **kwargs):
+    kwargs.setdefault("reliable", True)
+    channel = UdpChannel(sim, **kwargs)
+    got = []
+    channel.proxy_end.on_frame(lambda f: got.append(f.last_seq_done))
+    return channel, got
+
+
+class TestHappyPath:
+    def test_frames_arrive_in_order_and_acks_flow(self):
+        sim = Simulator()
+        channel, got = make(sim)
+        for seq in range(5):
+            channel.stub_end.send(beat(seq))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+        assert channel.datagrams_delivered == 5
+        assert channel.acks_sent == 5
+        assert channel.retransmits == 0
+        assert channel.unacked_count("stub") == 0
+
+    def test_acks_do_not_inflate_data_counters(self):
+        sim = Simulator()
+        channel, got = make(sim)
+        channel.stub_end.send(beat(0))
+        sim.run()
+        # One data datagram delivered; the ack is accounted separately.
+        assert channel.datagrams_delivered == 1
+        assert channel.acks_sent == 1
+
+    def test_zero_loss_adds_no_retransmits_under_batching(self):
+        sim = Simulator()
+        channel = UdpChannel(sim, reliable=True, batch=True)
+        got = []
+        channel.proxy_end.on_frame(lambda f: got.append(f.last_seq_done))
+        for seq in range(8):
+            channel.stub_end.send(beat(seq))
+        sim.run()
+        assert got == list(range(8))
+        assert channel.retransmits == 0
+        assert channel.batches_flushed == 1
+
+
+class TestLossRecovery:
+    def test_lost_datagram_is_retransmitted(self):
+        sim = Simulator()
+        channel, got = make(sim, loss=0.5, seed=3)
+        for seq in range(10):
+            channel.stub_end.send(beat(seq))
+        sim.run()
+        # Exactly once, in order, despite the coin flips.
+        assert got == list(range(10))
+        assert channel.retransmits > 0
+        assert channel.unacked_count("stub") == 0
+
+    def test_heavy_loss_still_exactly_once(self):
+        for seed in range(5):
+            sim = Simulator()
+            channel, got = make(sim, loss=0.3, seed=seed)
+            for seq in range(20):
+                channel.stub_end.send(beat(seq))
+            sim.run()
+            assert got == list(range(20)), f"seed {seed}"
+
+    def test_lost_ack_causes_dup_which_is_dropped(self):
+        sim = Simulator()
+        channel, got = make(sim)
+        # Drop only the first ack: dup arrives, receiver re-acks.
+        profile = ChaosProfile(seed=0)
+        sent = []
+
+        class DropFirstAck:
+            def perturb(self, now, side, data):
+                if side == "proxy" and not sent:  # the ack direction
+                    sent.append(1)
+                    return []
+                return [(0.0, data)]
+
+        channel.chaos = DropFirstAck()
+        channel.stub_end.send(beat(0))
+        sim.run()
+        assert got == [0]
+        assert channel.dup_datagrams_dropped >= 1
+
+
+class TestReordering:
+    def test_reordered_datagrams_delivered_in_seq_order(self):
+        sim = Simulator()
+        channel, got = make(sim, chaos=ChaosProfile(
+            seed=7, reorder=0.5, reorder_delay=0.005))
+        for seq in range(12):
+            sim.schedule(seq * 0.001,
+                         lambda s=seq: channel.stub_end.send(beat(s)))
+        sim.run()
+        assert got == list(range(12))
+
+
+class TestCorruption:
+    def test_corrupt_payload_rejected_then_healed_by_retransmit(self):
+        sim = Simulator()
+        channel, got = make(sim, chaos=ChaosProfile(seed=1, corrupt=0.4))
+        for seq in range(10):
+            channel.stub_end.send(beat(seq))
+        sim.run()
+        assert got == list(range(10))
+        assert channel.corrupt_rejected > 0
+
+
+class TestRetryBudget:
+    def test_exhausted_budget_raises_channel_fault(self):
+        sim = Simulator()
+        channel, got = make(sim, loss=1.0, seed=0, retry_budget=3)
+        faults = []
+        channel.on_fault.append(faults.append)
+        channel.stub_end.send(beat(0))
+        sim.run()
+        assert got == []
+        assert len(faults) == 1
+        fault = faults[0]
+        assert isinstance(fault, ChannelFault)
+        assert fault.side == "stub"
+        assert fault.seq == 1
+        # Initial transmit + retry_budget retransmissions.
+        assert channel.retransmits == 3
+        assert channel.abandoned == 1
+        assert channel.unacked_count("stub") == 0
+
+    def test_floor_advance_unwedges_receiver_after_partition(self):
+        sim = Simulator()
+        profile = ChaosProfile(seed=0)
+        # Total blackout while seqs 1-3 (and their retries) are sent.
+        profile.partition(0.0, 0.5)
+        channel, got = make(sim, retry_budget=2, chaos=profile)
+        for seq in range(3):
+            channel.stub_end.send(beat(seq))
+        sim.run_until(0.6)
+        assert got == []
+        assert channel.faults_raised >= 1
+        # After heal, new traffic must get through: the receiver skips
+        # the abandoned gap because the envelope's floor moved past it.
+        channel.stub_end.send(beat(99))
+        sim.run()
+        assert got == [99]
+
+    def test_dead_process_stops_retransmitting(self):
+        sim = Simulator()
+        channel, got = make(sim, loss=1.0, seed=0)
+        channel.stub_end.send(beat(0))
+        sim.run_until(0.001)
+        assert channel.unacked_count("stub") == 1
+        channel.drop_pending("stub")
+        assert channel.unacked_count("stub") == 0
+        events_before = sim.events_processed
+        sim.run()
+        # No retransmit storm from beyond the grave.
+        assert channel.retransmits == 0
+
+
+class TestTelemetryCounters:
+    def test_reliability_counters_reach_prometheus(self):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.export import prometheus_text
+
+        sim = Simulator()
+        telemetry = Telemetry(enabled=True)
+        channel = UdpChannel(sim, reliable=True, loss=0.5, seed=3,
+                             retry_budget=4, telemetry=telemetry)
+        channel.proxy_end.on_frame(lambda f: None)
+        for seq in range(10):
+            channel.stub_end.send(beat(seq))
+        sim.run()
+        text = prometheus_text(telemetry.metrics)
+        assert "repro_channel_retransmits_total" in text
+        assert "repro_channel_acks_sent_total" in text

@@ -68,14 +68,7 @@ class TestShipping:
         net, runtime, replicas = build()
         TrafficWorkload(net, rate=30.0, seed=0).start(2.0)
         net.run_for(3.0)  # includes settle time past the last ship
-        backup = replicas.replica("r1")
-        manager = runtime.proxy.manager
-        for dpid, table in manager.shadow.items():
-            want = {(repr(e.match), e.priority, repr(tuple(e.actions)))
-                    for e in table}
-            got = {(repr(e.match), e.priority, repr(tuple(e.actions)))
-                   for e in backup.shadow.get(dpid, ())}
-            assert got == want
+        assert replicas.shadow_divergence("r1") == 0
 
     def test_heartbeats_carry_app_progress_and_acks(self):
         net, runtime, replicas = build()
@@ -299,3 +292,149 @@ class TestStatsReconcile:
         # stats poll kept the shadow's clock tracking the switch's.
         assert manager.shadow_table(1).find(Match(eth_dst="hot"), 10)
         assert entry.installed_at == installed
+
+
+class TestPartitionHealResync:
+    """A backup cut off long enough to exhaust the shipping channel's
+    retry budgets must detect its lag on heal and repair via *ranged*
+    replay -- never by waiting for repair that will not come."""
+
+    def _partitioned_build(self, partition=(0.4, 1.3), backups=2):
+        from repro.faults.netfaults import ChaosProfile
+
+        # Shipping on this topology+workload spreads over ~0.1-0.9s,
+        # so the window cuts the stream mid-flight: records shipped
+        # before it must NOT be replayed (ranged, not full-log).
+        profile = ChaosProfile(seed=0)
+        profile.partition(partition[0], partition[1] - partition[0])
+        net = Network(linear_topology(3, 2), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        replicas = ReplicaSet(
+            net, runtime, backups=backups, repl_retry_budget=3,
+            lease_timeout=30.0,  # isolate: the partitioned candidate
+            # cannot tell "primary dead" from "my link dead" -- a short
+            # lease would make it self-promote mid-test.
+            chaos=lambda rid: profile if rid == "r1" else None)
+        runtime.launch_app(LearningSwitch())
+        net.start()
+        return net, runtime, replicas, profile
+
+    def test_healed_backup_resyncs_to_zero_lag(self):
+        net, runtime, replicas, profile = self._partitioned_build()
+        TrafficWorkload(net, rate=60.0, seed=0).start(2.5)
+        net.run_for(3.5)
+        backup = replicas.replica("r1")
+        assert profile.partition_drops > 0, "partition never bit"
+        assert backup.resync_requests > 0
+        assert replicas.resyncs_served > 0
+        # Fully repaired: contiguous coverage of the shipped log.
+        assert backup.contig_index == replicas.ship_index
+        assert backup.contig_resolves == replicas.resolve_count
+        assert not backup.open_txns
+
+    def test_resync_is_ranged_not_full_log(self):
+        net, runtime, replicas, profile = self._partitioned_build()
+        TrafficWorkload(net, rate=60.0, seed=0).start(2.5)
+        net.run_for(3.5)
+        # The replay shipped strictly less than the whole history:
+        # everything shipped before the partition was never re-sent.
+        assert 0 < replicas.resync_records_sent < len(replicas.ship_history)
+
+    def test_resynced_backup_shadow_matches_primary(self):
+        net, runtime, replicas, profile = self._partitioned_build()
+        TrafficWorkload(net, rate=60.0, seed=0).start(2.5)
+        net.run_for(3.5)
+        assert replicas.shadow_divergence("r1") == 0
+
+    def test_unpartitioned_backup_never_requests_resync(self):
+        net, runtime, replicas, profile = self._partitioned_build()
+        TrafficWorkload(net, rate=60.0, seed=0).start(2.5)
+        net.run_for(3.5)
+        untouched = replicas.replica("r2")
+        assert untouched.resync_requests == 0
+        assert untouched.contig_index == replicas.ship_index
+
+
+class TestQuorumCommit:
+    def test_majority_ack_commits(self):
+        net, runtime, replicas = build(backups=2, quorum=True)
+        net.reachability(wait=0.5)
+        net.run_for(1.0)
+        assert replicas.resolve_count > 0
+        assert replicas.quorum_commits > 0
+        assert replicas.quorum_stalls == 0
+        assert not replicas.quorum_degraded
+        assert not replicas._pending_quorum
+
+    def test_quorum_needs_majority_not_all(self):
+        # 1 primary + 2 backups: majority is 2, so one dead backup
+        # must not stall commits.
+        net, runtime, replicas = build(backups=2, quorum=True)
+        replicas.replica("r2").controller.crash(
+            RuntimeError("backup dies"), culprit="fault-injection")
+        replicas.replica("r2").role = ReplicaRole.DEAD
+        net.reachability(wait=0.5)
+        net.run_for(1.0)
+        assert replicas.quorum_commits > 0
+        assert replicas.quorum_stalls == 0
+
+    def test_quorum_unreachable_degrades_gracefully(self):
+        from repro.faults.netfaults import ChaosProfile
+
+        profiles = {}
+
+        def chaos(rid):
+            profile = ChaosProfile(seed=0)
+            profile.partition(0.4, 10.0)  # all backups dark, forever
+            profiles[rid] = profile
+            return profile
+
+        net = Network(linear_topology(3, 2), seed=0)
+        runtime = LegoSDNRuntime(net.controller)
+        replicas = ReplicaSet(net, runtime, backups=2, quorum=True,
+                              quorum_timeout=0.2, repl_retry_budget=2,
+                              lease_timeout=30.0,  # isolate: no failover
+                              chaos=chaos)
+        runtime.launch_app(LearningSwitch())
+        net.start()
+        TrafficWorkload(net, rate=60.0, seed=0).start(1.5)
+        net.run_for(3.0)
+        # Commits kept happening (availability), but durability is
+        # flagged as degraded and the stalls are counted.
+        assert replicas.quorum_stalls > 0
+        assert replicas.quorum_degraded
+        assert not replicas._pending_quorum
+        assert runtime.proxy.manager.committed > 0
+
+    def test_async_mode_never_tracks_quorum(self):
+        net, runtime, replicas = build()
+        net.reachability(wait=0.5)
+        net.run_for(1.0)
+        assert replicas.quorum_commits == 0
+        assert not replicas._pending_quorum
+
+
+class TestReplicationTelemetryExport:
+    def test_resync_and_quorum_counters_reach_prometheus(self):
+        from repro.faults.netfaults import ChaosProfile
+        from repro.telemetry.export import prometheus_text
+
+        profile = ChaosProfile(seed=0)
+        profile.partition(0.4, 0.9)
+        telemetry = Telemetry(enabled=True)
+        net = Network(linear_topology(3, 2), seed=0, telemetry=telemetry)
+        runtime = LegoSDNRuntime(net.controller)
+        replicas = ReplicaSet(
+            net, runtime, backups=2, quorum=True, quorum_timeout=0.2,
+            repl_retry_budget=2, lease_timeout=30.0,
+            chaos=lambda rid: profile)  # both backups cut: quorum stalls
+        runtime.launch_app(LearningSwitch())
+        net.start()
+        TrafficWorkload(net, rate=60.0, seed=0).start(2.5)
+        net.run_for(3.5)
+        assert replicas.resyncs_served > 0
+        assert replicas.quorum_stalls > 0
+        text = prometheus_text(telemetry.metrics)
+        assert "repro_replication_resyncs_total" in text
+        assert "repro_replication_quorum_commits_total" in text
+        assert "repro_replication_quorum_stalls_total" in text
