@@ -233,6 +233,124 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _load_spans(path: str) -> list:
+    """Spans from a saved trace document (or a bare span list)."""
+    import json
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    return doc["spans"] if isinstance(doc, dict) else doc
+
+
+def _run_traced_workload(args, loss: float):
+    """A short traced control-loop workload for the causal commands.
+
+    Mirrors the E17 adverse-network setup: reliable batched channels,
+    optional chaos at ``loss`` (with 10% dup/reorder and delay jitter),
+    random traffic, and a HealthWatchdog sweeping invariants against
+    ground truth.  Returns ``(telemetry, watchdog, net)``.
+    """
+    from repro.apps import LearningSwitch
+    from repro.core.runtime import LegoSDNRuntime
+    from repro.faults.netfaults import ChaosProfile
+    from repro.invariants.graph import NetSnapshot
+    from repro.network.net import Network
+    from repro.telemetry import HealthWatchdog, Telemetry
+    from repro.workloads.traffic import TrafficWorkload
+
+    telemetry = Telemetry(enabled=True,
+                          flight_capacity=args.flight_capacity)
+    net = Network(_build_topology(args.topology, args.size),
+                  seed=args.seed, telemetry=telemetry)
+    chaos = None
+    if loss > 0:
+        profile = ChaosProfile(seed=args.seed, loss=loss, duplicate=0.1,
+                               reorder=0.1, jitter=0.0005)
+        chaos = lambda name: profile  # noqa: E731 - per-app profile hook
+    runtime = LegoSDNRuntime(net.controller, channel_retry_budget=12,
+                             chaos=chaos)
+    runtime.launch_app(LearningSwitch())
+    watchdog = HealthWatchdog(
+        telemetry, net.sim,
+        snapshot_provider=lambda: NetSnapshot.from_network(net))
+    net.start()
+    net.run_for(1.0)
+    TrafficWorkload(net, rate=args.rate, seed=args.seed,
+                    selection="random").start(args.duration * 0.7)
+    net.run_for(args.duration)
+    return telemetry, watchdog, net
+
+
+def cmd_trace_tree(args) -> int:
+    """Render one trace's causal span tree; without a TRACE_ID, list
+    every captured trace (id, root span, duration, span count)."""
+    from repro.telemetry.causal import (
+        build_trace_tree,
+        render_tree,
+        trace_summaries,
+    )
+
+    if args.infile:
+        spans = _load_spans(args.infile)
+    else:
+        telemetry, watchdog, _net = _run_traced_workload(args, args.loss)
+        watchdog.stop()
+        spans = telemetry.tracer.to_dicts()
+    if args.trace_id is None:
+        rows = trace_summaries(spans)
+        if not rows:
+            print("no traced spans captured")
+            return 1
+        print(f"{len(rows)} trace(s) captured "
+              "(repro trace tree <TRACE_ID> for one tree)")
+        print(f"{'trace':>8} {'root':<22} {'event':<16} "
+              f"{'spans':>5} {'ms':>9}")
+        for row in rows[:40]:
+            print(f"{row['trace_id']:>8} {row['root']:<22} "
+                  f"{str(row['event']):<16} {row['spans']:>5} "
+                  f"{row['duration'] * 1000:>9.3f}")
+        if len(rows) > 40:
+            print(f"... and {len(rows) - 40} more")
+        return 0
+    roots = build_trace_tree(spans, trace_id=args.trace_id)
+    if not roots:
+        print(f"trace {args.trace_id} not found")
+        return 1
+    print(f"trace {args.trace_id}:")
+    print(render_tree(roots))
+    return 0
+
+
+def cmd_trace_critical_path(args) -> int:
+    """Aggregate critical-path attribution across every captured
+    trace: which component the control loop's latency actually sits
+    in (app handling, RPC wire time, retransmission backoff, NetLog,
+    checkpoint freezes, recovery)."""
+    from repro.telemetry.causal import analyze
+
+    watchdog = None
+    if args.infile:
+        spans = _load_spans(args.infile)
+    else:
+        telemetry, watchdog, _net = _run_traced_workload(args, args.loss)
+        spans = telemetry.tracer.to_dicts()
+    analysis = analyze(spans)
+    if not analysis.attribution:
+        print("no traced spans to analyze")
+        return 1
+    print(analysis.render(args.top))
+    if watchdog is not None:
+        payload = watchdog.healthz_payload()
+        watchdog.stop()
+        counts = payload["anomaly_counts"]
+        summary = (", ".join(f"{kind} x{count}"
+                             for kind, count in sorted(counts.items()))
+                   or "none")
+        print(f"watchdog: score {payload['score']:.2f} "
+              f"({payload['status']}); anomalies: {summary}")
+    return 0
+
+
 def cmd_trace_diff(args) -> int:
     """Diff two traces segment by segment: which hot-path span
     (dispatch, RPC, checkpoint, NetLog commit) moved, and by how much."""
@@ -264,8 +382,9 @@ def cmd_serve(args) -> int:
     from repro.apps import LearningSwitch
     from repro.core.runtime import LegoSDNRuntime
     from repro.faults import crash_on
+    from repro.invariants.graph import NetSnapshot
     from repro.network.net import Network
-    from repro.telemetry import Telemetry
+    from repro.telemetry import HealthWatchdog, Telemetry
     from repro.telemetry.serve import MetricsServer
     from repro.workloads.traffic import inject_marker_packet
 
@@ -275,6 +394,9 @@ def cmd_serve(args) -> int:
                   seed=args.seed, telemetry=telemetry)
     runtime = LegoSDNRuntime(net.controller)
     runtime.launch_app(crash_on(LearningSwitch(), payload_marker="BOOM"))
+    watchdog = HealthWatchdog(
+        telemetry, net.sim,
+        snapshot_provider=lambda: NetSnapshot.from_network(net))
     net.start()
     net.run_for(1.5)
     net.reachability()
@@ -289,12 +411,13 @@ def cmd_serve(args) -> int:
         return (f"controller={status} sim_time={net.now:.2f}s "
                 f"apps={len(runtime.live_apps())}")
 
-    server = MetricsServer(telemetry, port=args.port, health=health)
+    server = MetricsServer(telemetry, port=args.port, health=health,
+                           watchdog=watchdog)
     server.start()
     print(f"serving telemetry on {server.url}")
     print(f"  {server.url}/metrics     (Prometheus text)")
-    print(f"  {server.url}/healthz")
-    print(f"  {server.url}/trace.json")
+    print(f"  {server.url}/healthz     (health score + anomalies)")
+    print(f"  {server.url}/trace.json  (spans + critical-path)")
     try:
         if args.linger is not None:
             time.sleep(args.linger)
@@ -509,6 +632,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit non-zero if the --span median "
                              "regressed more than FRACTION (e.g. 0.2)")
     p_diff.set_defaults(func=cmd_trace_diff)
+
+    def add_causal_args(p):
+        add_topo_args(p)
+        add_flight_args(p)
+        p.add_argument("--in", dest="infile", default=None, metavar="FILE",
+                       help="analyze a saved trace JSON instead of "
+                            "running the built-in workload")
+        p.add_argument("--loss", type=float, default=0.0,
+                       help="chaos loss rate for the built-in workload "
+                            "(default 0; E17 uses 0.3)")
+        p.add_argument("--duration", type=float, default=4.0,
+                       help="workload duration, sim seconds (default 4)")
+        p.add_argument("--rate", type=float, default=50.0,
+                       help="traffic rate, packets/s (default 50)")
+
+    p_tree = trace_sub.add_parser("tree", help=cmd_trace_tree.__doc__)
+    add_causal_args(p_tree)
+    p_tree.add_argument("trace_id", nargs="?", type=int, default=None,
+                        help="trace to render (omit to list traces)")
+    p_tree.set_defaults(func=cmd_trace_tree)
+
+    p_cp = trace_sub.add_parser("critical-path",
+                                help=cmd_trace_critical_path.__doc__)
+    add_causal_args(p_cp)
+    p_cp.add_argument("--top", type=_positive_int, default=10,
+                      help="attribution rows to print (default 10)")
+    p_cp.set_defaults(func=cmd_trace_critical_path)
 
     p_serve = sub.add_parser("serve", help=cmd_serve.__doc__)
     add_topo_args(p_serve)

@@ -185,12 +185,25 @@ class Controller:
         An exception from a listener is an unhandled exception in the
         controller process: the controller crashes (the fate-sharing
         relationship this paper exists to remove).
+
+        This is also where trace context is minted: each event entering
+        dispatch gets a fresh ``trace_id`` -- unless one is already
+        ambient (a re-entrant dispatch from inside a traced handler,
+        e.g. the AppCrashed event Crash-Pad raises while recovering a
+        traced failure), which the new event inherits so the causal
+        chain stays connected.  The id rides the lane queue beside the
+        event (events are frozen dataclasses) and every downstream
+        layer propagates it instead of minting again.
         """
         if self.crashed:
             return
+        tracer = self.telemetry.tracer
+        trace_id = 0
+        if tracer.enabled:
+            trace_id = tracer.current_trace or tracer.mint_trace()
         lane = self._lane_of(event)
         queue = self._lanes[lane]
-        queue.append(event)
+        queue.append((event, trace_id))
         if self._lane_busy[lane]:
             return  # the active drain below delivers it, FIFO
         self._lane_busy[lane] = True
@@ -199,7 +212,8 @@ class Controller:
                 if self.crashed:
                     queue.clear()
                     return
-                self._dispatch_one(queue.popleft(), lane)
+                queued, queued_trace = queue.popleft()
+                self._dispatch_one(queued, queued_trace, lane)
         finally:
             self._lane_busy[lane] = False
 
@@ -211,12 +225,13 @@ class Controller:
             return 0
         return int(dpid) % self.dispatch_shards
 
-    def _dispatch_one(self, event, lane: int) -> None:
+    def _dispatch_one(self, event, trace_id: int, lane: int) -> None:
         type_name = event.type_name
         self.dispatches_by_lane[lane] += 1
         tracer = self.telemetry.tracer
         if tracer.enabled:
-            with tracer.span("controller.dispatch", event=type_name,
+            with tracer.span("controller.dispatch",
+                             trace_id=trace_id or None, event=type_name,
                              epoch=self.epoch, lane=lane):
                 self._deliver(event, type_name)
         else:

@@ -55,6 +55,7 @@ from repro.core.appvisor.rpc import (
     encode_frame,
     envelope_for,
     envelope_intact,
+    frame_trace_ids,
 )
 from repro.openflow.serialization import SerializationError
 
@@ -84,6 +85,16 @@ class _Unacked:
     frames: int
     attempts: int = 0
     next_at: float = 0.0
+    #: Trace ids of the events whose frames this datagram carries --
+    #: captured at first transmit so retransmission spans attach to the
+    #: causing event's tree instead of minting fresh identities.
+    trace_ids: tuple = ()
+    #: Frame type names aboard (for retransmit-span attribution;
+    #: control frames like Register carry no trace context by design).
+    kinds: tuple = ()
+    #: When the datagram last went on the wire; a retransmit span
+    #: covers [last_sent_at, now] -- the backoff the event waited out.
+    last_sent_at: float = 0.0
 
 
 @dataclass
@@ -137,7 +148,9 @@ class ChannelEndpoint:
             return
         data = encode_frame(frame)
         self.bytes_sent += len(data)
-        self._channel._transmit(self._side, data, frames=1)
+        self._channel._transmit(self._side, data, frames=1,
+                                trace_ids=self._channel._trace_ids_of(frame),
+                                kinds=self._channel._frame_kinds_of(frame))
 
     def drop_pending(self) -> int:
         """Discard this side's unflushed frames (its process died)."""
@@ -244,7 +257,9 @@ class UdpChannel:
         self._endpoint(from_side).bytes_sent += len(data)
         self.batches_flushed += 1
         self.frames_batched += len(pending)
-        self._transmit(from_side, data, frames=len(pending))
+        self._transmit(from_side, data, frames=len(pending),
+                       trace_ids=self._trace_ids_of(frame),
+                       kinds=self._frame_kinds_of(frame))
 
     def drop_pending(self, side: str) -> int:
         """Discard a side's unflushed frames (its process just died).
@@ -269,14 +284,35 @@ class UdpChannel:
 
     # -- the wire ---------------------------------------------------------
 
-    def _transmit(self, from_side: str, data: bytes, frames: int = 1) -> None:
+    def _trace_ids_of(self, frame) -> tuple:
+        """Trace ids a datagram will carry, when anyone is looking.
+
+        Computed only with telemetry on (the ids feed retransmission
+        and delivery spans), so the disabled hot path stays unchanged.
+        """
+        if self.telemetry is not None and self.telemetry.enabled:
+            return frame_trace_ids(frame)
+        return ()
+
+    def _frame_kinds_of(self, frame) -> tuple:
+        """Distinct frame type names a datagram carries (telemetry on)."""
+        if self.telemetry is not None and self.telemetry.enabled:
+            if isinstance(frame, FrameBatch):
+                return tuple(sorted({type(f).__name__
+                                     for f in frame.frames}))
+            return (type(frame).__name__,)
+        return ()
+
+    def _transmit(self, from_side: str, data: bytes, frames: int = 1,
+                  trace_ids: tuple = (), kinds: tuple = ()) -> None:
         if not self.reliable:
             self._put_on_wire(from_side, data, frames, kind="data")
             return
         state = self._send_state[from_side]
         state.next_seq += 1
         seq = state.next_seq
-        state.unacked[seq] = _Unacked(payload=data, frames=frames)
+        state.unacked[seq] = _Unacked(payload=data, frames=frames,
+                                      trace_ids=trace_ids, kinds=kinds)
         self._send_seq(from_side, seq)
 
     def _send_seq(self, from_side: str, seq: int) -> None:
@@ -286,6 +322,7 @@ class UdpChannel:
         if record is None:
             return
         record.attempts += 1
+        record.last_sent_at = self.sim.now
         env = envelope_for(seq, state.floor, record.payload)
         self._put_on_wire(from_side, encode_frame(env), record.frames,
                           kind="data")
@@ -322,6 +359,18 @@ class UdpChannel:
             self.retransmits += 1
             if self.telemetry is not None and self.telemetry.enabled:
                 self.telemetry.metrics.inc("channel.retransmits")
+                # The backoff this datagram just waited out, attributed
+                # to the event whose frames it carries.  Retransmission
+                # is pure added latency on the causal path, which is
+                # exactly what the critical-path analyzer should see.
+                tids = record.trace_ids
+                self.telemetry.tracer.record_span(
+                    f"{self.span_name}.retransmit",
+                    start=record.last_sent_at,
+                    trace_id=tids[0] if tids else None,
+                    direction=from_side, seq=seq,
+                    attempt=record.attempts,
+                    frames=",".join(record.kinds))
             self._send_seq(from_side, seq)
         if exhausted:
             self._abandon(from_side, exhausted)
@@ -429,7 +478,8 @@ class UdpChannel:
             self._note_corrupt(dest_side)
             return
         # Plain (unreliable) datagram: deliver as-is.
-        self._count_delivery(from_side, frames, len(data), sent_at)
+        self._count_delivery(from_side, frames, len(data), sent_at,
+                             frame=frame)
         self._dispatch(dest_side, frame)
 
     def _note_corrupt(self, dest_side: str) -> None:
@@ -438,11 +488,13 @@ class UdpChannel:
             self.telemetry.metrics.inc("channel.corrupt_rejected")
 
     def _count_delivery(self, from_side: str, frames: int, nbytes: int,
-                        sent_at: float) -> None:
+                        sent_at: float, frame=None) -> None:
         self.datagrams_delivered += 1
         if self.telemetry is not None and self.telemetry.enabled:
+            tids = frame_trace_ids(frame) if frame is not None else ()
             self.telemetry.tracer.record_span(
                 self.span_name, start=sent_at,
+                trace_id=tids[0] if tids else None,
                 direction=from_side, frames=frames, nbytes=nbytes)
 
     def _dispatch(self, dest_side: str, frame) -> None:
@@ -494,7 +546,7 @@ class UdpChannel:
                     self._note_corrupt(dest_side)
                     continue
                 self._count_delivery(from_side, self._frames_in(frame),
-                                     len(payload), sent_at)
+                                     len(payload), sent_at, frame=frame)
                 self._dispatch(dest_side, frame)
             elif nxt < floor:
                 # Abandoned by the sender: skip the gap.

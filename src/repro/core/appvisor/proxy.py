@@ -61,6 +61,9 @@ class Inflight:
     event: object
     txn: Optional[Transaction]
     dispatched_at: float
+    #: Causal identity minted at controller ingestion; echoed on every
+    #: frame the event produces (0 = untraced).
+    trace_id: int = 0
 
 
 @dataclass
@@ -95,6 +98,10 @@ class AppRecord:
     #: When the current recovery began (failure detection time), for
     #: the crashpad.recovery telemetry span.
     recovery_started_at: float = 0.0
+    #: Trace id of the failure that triggered the current recovery, so
+    #: the crashpad.recovery span (recorded split-phase at the
+    #: RestoreAck) attaches to the offending event's causal tree.
+    recovery_trace_id: int = 0
     pushed_topo_version: int = -1
     pushed_device_version: int = -1
 
@@ -180,12 +187,17 @@ class AppVisorProxy:
             # switch actually reported, not the cache-corrected view.
             self.manager.note_flow_stats(event)
             event = self.manager.counter_cache.patch_flow_stats(event)
+        # The controller's dispatch span is open right now: its trace
+        # id travels with the queued event (dispatch may happen later,
+        # from a different call frame, when the lane frees up).
+        tracer = self.telemetry.tracer
+        trace_id = (tracer.current_trace or 0) if tracer.enabled else 0
         for record in self.apps.values():
             if type_name not in record.subscriptions:
                 continue
             if record.status is AppStatus.DEAD:
                 continue
-            record.queue.append(event)
+            record.queue.append((event, trace_id))
             self._pump(record)
 
     # -- stub attachment --------------------------------------------------------
@@ -228,6 +240,26 @@ class AppVisorProxy:
     # -- frame handling ------------------------------------------------------------
 
     def on_frame(self, endpoint, frame) -> None:
+        """Receive one frame, inside the frame's trace context.
+
+        The stub echoes the originating event's trace id on every frame,
+        so anything this handler does downstream (commits, crash
+        handling, re-dispatch) inherits the causal identity via the
+        tracer's ambient context.
+        """
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tid = getattr(frame, "trace_id", 0)
+            prev = tracer.current_trace
+            tracer.current_trace = tid or prev
+            try:
+                self._dispatch_frame(endpoint, frame)
+            finally:
+                tracer.current_trace = prev
+        else:
+            self._dispatch_frame(endpoint, frame)
+
+    def _dispatch_frame(self, endpoint, frame) -> None:
         rpc.trace_frame(self.telemetry, "recv", frame)
         if isinstance(frame, rpc.Register):
             self._on_register(endpoint, frame)
@@ -268,8 +300,12 @@ class AppVisorProxy:
         if "SwitchJoin" in record.subscriptions:
             from repro.controller.events import SwitchJoin
 
+            tracer = self.telemetry.tracer
             for dpid in self.controller.connected_dpids():
-                record.queue.append(SwitchJoin(dpid))
+                # Synthesized events are real control-loop work: each
+                # gets its own trace, same as controller ingestion.
+                tid = tracer.mint_trace() if tracer.enabled else 0
+                record.queue.append((SwitchJoin(dpid), tid))
             self._pump(record)
 
     # -- dispatch -------------------------------------------------------------------
@@ -293,23 +329,25 @@ class AppVisorProxy:
             return
         busy = set(record.inflights)
         remaining: Deque = deque()
-        for event in record.queue:
+        for event, tid in record.queue:
             lane = self._lane_of(event)
             if lane in busy:
-                remaining.append(event)
+                remaining.append((event, tid))
                 continue
             busy.add(lane)
             record.last_seq += 1
             seq = record.last_seq
             txn = None
             if self.mode == "netlog":
-                txn = self.manager.begin(record.name, event.type_name)
+                txn = self.manager.begin(record.name, event.type_name,
+                                         trace_id=tid or None)
             record.inflights[lane] = Inflight(
-                seq=seq, event=event, txn=txn, dispatched_at=self.sim.now)
+                seq=seq, event=event, txn=txn, dispatched_at=self.sim.now,
+                trace_id=tid)
             record.events_dispatched += 1
             self.detector.record_dispatch(record.name, seq, self.sim.now)
             deliver = rpc.EventDeliver(
-                app_name=record.name, seq=seq, event=event,
+                app_name=record.name, seq=seq, event=event, trace_id=tid,
             )
             rpc.trace_frame(self.telemetry, "send", deliver)
             record.endpoint.send(deliver)
@@ -343,6 +381,7 @@ class AppVisorProxy:
             # start rather than a context manager.
             self.telemetry.tracer.record_span(
                 "appvisor.event", start=inflight.dispatched_at,
+                trace_id=inflight.trace_id or None,
                 app=record.name, seq=frame.seq,
                 event=inflight.event.type_name,
                 outputs=frame.output_count,
@@ -463,6 +502,12 @@ class AppVisorProxy:
             del record.inflights[lane]
         offending_event = (offending_inflight.event
                            if offending_inflight else None)
+        # The failure belongs to the offending event's trace; a silent
+        # death between events falls back to the ambient context (the
+        # frame or sweep that detected it).
+        offending_trace = (offending_inflight.trace_id
+                           if offending_inflight
+                           else (self.telemetry.tracer.current_trace or 0))
         wal_excerpt: List[str] = []
         if offending_inflight is not None:
             if self.mode == "netlog" and offending_inflight.txn is not None:
@@ -523,16 +568,21 @@ class AppVisorProxy:
         # Recover: restore the checkpoint, then skip or transform.
         record.status = AppStatus.RECOVERING
         record.recovery_started_at = self.sim.now
+        record.recovery_trace_id = offending_trace
         restore_seq = (offending_inflight.seq if offending_inflight
                        else record.last_seq + 1)
         self.detector.clear(record.name, self.sim.now)
         # Collateral events are re-delivered first (their original
-        # order), preceded by any transformation of the offending one.
+        # order) under their own traces, preceded by any transformation
+        # of the offending one (which stays on the offender's trace --
+        # the replacement IS that event, equivalence-transformed).
         for inflight in reversed(collateral):
-            record.queue.appendleft(inflight.event)
+            record.queue.appendleft((inflight.event, inflight.trace_id))
         if decision.replacement_events:
             record.events_transformed += 1
-            record.queue.extendleft(reversed(decision.replacement_events))
+            record.queue.extendleft(
+                (ev, offending_trace)
+                for ev in reversed(decision.replacement_events))
         elif offending_event is not None:
             record.events_skipped += 1
         if self._recovery_is_futile(record) and self._stub_has_replica(record):
@@ -545,12 +595,12 @@ class AppVisorProxy:
             record.deep_restores += 1
             command = rpc.DeepRestoreCommand(
                 app_name=record.name, offending_seq=restore_seq,
-                drop_seqs=drop_seqs,
+                drop_seqs=drop_seqs, trace_id=offending_trace,
             )
         else:
             command = rpc.RestoreCommand(
                 app_name=record.name, offending_seq=restore_seq,
-                drop_seqs=drop_seqs,
+                drop_seqs=drop_seqs, trace_id=offending_trace,
             )
         rpc.trace_frame(self.telemetry, "send", command)
         record.endpoint.send(command)
@@ -608,6 +658,7 @@ class AppVisorProxy:
             self.telemetry.tracer.record_span(
                 "crashpad.recovery", start=record.recovery_started_at,
                 status="ok" if frame.ok else "error",
+                trace_id=record.recovery_trace_id or None,
                 app=record.name, ok=frame.ok,
                 replayed=frame.replayed_events,
                 restore_cost=frame.restore_cost,

@@ -9,6 +9,15 @@ Every frame is a registered dataclass serialised with the byte codec
 from :mod:`repro.openflow.serialization`, so crossing the boundary has
 a real, measurable wire cost (charged by the channel's latency model).
 
+Event-scoped frames carry a ``trace_id``: the causal identity the
+controller minted when the originating event entered dispatch.  The
+stub echoes it back on everything the event produced (outputs,
+completion, crash reports, restore acks), so both sides' telemetry
+spans -- and the channel's retransmission spans for the datagrams in
+between -- assemble into one causal tree per event
+(:mod:`repro.telemetry.causal`).  ``trace_id=0`` means untraced
+(telemetry off, or background frames like heartbeats).
+
 Frame inventory (direction):
 
 ==================  ===========  =========================================
@@ -62,6 +71,7 @@ class EventDeliver:
     app_name: str
     seq: int
     event: object
+    trace_id: int = 0
 
 
 @register_dataclass
@@ -80,6 +90,7 @@ class AppOutput:
     index: int
     dpid: int
     message: object
+    trace_id: int = 0
 
 
 @register_dataclass
@@ -90,6 +101,7 @@ class EventComplete:
     output_count: int
     counter_deltas: Tuple[Tuple[str, int], ...] = ()
     log_lines: Tuple[str, ...] = ()
+    trace_id: int = 0
 
 
 @register_dataclass
@@ -100,6 +112,7 @@ class CrashReport:
     error: str
     traceback_text: str = ""
     log_lines: Tuple[str, ...] = ()
+    trace_id: int = 0
 
 
 @register_dataclass
@@ -123,6 +136,7 @@ class RestoreCommand:
     app_name: str
     offending_seq: int
     drop_seqs: Tuple[int, ...] = ()
+    trace_id: int = 0
 
 
 @register_dataclass
@@ -140,6 +154,7 @@ class DeepRestoreCommand:
     app_name: str
     offending_seq: int
     drop_seqs: Tuple[int, ...] = ()
+    trace_id: int = 0
 
 
 @register_dataclass
@@ -155,6 +170,7 @@ class RestoreAck:
     #: causal set (pruned from future replays).  Empty for the common
     #: single-event case.
     sts_culprits: Tuple[int, ...] = ()
+    trace_id: int = 0
 
 
 @register_dataclass
@@ -282,5 +298,24 @@ def trace_frame(telemetry, direction: str, frame) -> None:
         frame=label,
         app=getattr(frame, "app_name", ""),
         seq=getattr(frame, "seq", None),
+        trace=getattr(frame, "trace_id", 0) or None,
     )
     telemetry.metrics.inc(f"rpc.{direction}.{label}")
+
+
+def frame_trace_ids(frame) -> Tuple[int, ...]:
+    """Distinct non-zero trace ids carried by a frame (or batch).
+
+    The reliability layer stores these per datagram so retransmissions
+    attach to the event(s) whose frames the datagram carries -- a
+    retransmit never mints a trace id of its own.
+    """
+    if isinstance(frame, FrameBatch):
+        seen = []
+        for inner in frame.frames:
+            tid = getattr(inner, "trace_id", 0)
+            if tid and tid not in seen:
+                seen.append(tid)
+        return tuple(seen)
+    tid = getattr(frame, "trace_id", 0)
+    return (tid,) if tid else ()

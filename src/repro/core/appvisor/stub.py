@@ -115,6 +115,9 @@ class AppVisorStub:
         self.replica_factory = replica_factory
         self.sts_runs = 0
         self._output_index = 0
+        #: Trace id of the event currently in the sandbox; everything
+        #: the app emits while handling it echoes this id back.
+        self._current_trace = 0
         self._stop_heartbeat = None
         self._last_delivered: Optional[tuple] = None  # (seq, event)
         #: Seqs delivered but not yet processed (the checkpoint-cost
@@ -206,6 +209,7 @@ class AppVisorStub:
             except ResourceLimitExceeded as exc:
                 self.endpoint.send(rpc.CrashReport(
                     app_name=self.app.name, seq=seq, error=str(exc),
+                    trace_id=frame.trace_id,
                 ))
                 return
             checkpoint_cost = self.checkpoints.cost_of(checkpoint)
@@ -220,7 +224,7 @@ class AppVisorStub:
         # per-event overhead E7 measures (incremental checkpoints make
         # most freezes delta- or hash-priced rather than full dumps).
         self.sim.schedule(checkpoint_cost, self._process, seq, frame.event,
-                          self.sim.now, checkpoint_kind)
+                          self.sim.now, checkpoint_kind, frame.trace_id)
 
     def _checkpoint_due(self, seq: int) -> bool:
         latest = self.checkpoints.latest()
@@ -229,7 +233,8 @@ class AppVisorStub:
         return seq - latest.before_seq >= self.checkpoint_interval
 
     def _process(self, seq: int, event, freeze_start: Optional[float] = None,
-                 checkpoint_kind: Optional[str] = None) -> None:
+                 checkpoint_kind: Optional[str] = None,
+                 trace_id: int = 0) -> None:
         self._pending_process.discard(seq)
         if (checkpoint_kind is not None and self.telemetry is not None
                 and self.telemetry.enabled):
@@ -237,11 +242,13 @@ class AppVisorStub:
             # checkpoint segment of the event critical path.
             self.telemetry.tracer.record_span(
                 "appvisor.checkpoint", start=freeze_start,
+                trace_id=trace_id or None,
                 app=self.app.name, seq=seq, kind=checkpoint_kind,
             )
         if not self.sandbox.alive:
             return
         self.current_seq = seq
+        self._current_trace = trace_id
         self._output_index = 0
         self.pending_logs = []
         self.pending_counters = {}
@@ -256,6 +263,7 @@ class AppVisorStub:
                 output_count=self._output_index,
                 counter_deltas=tuple(sorted(self.pending_counters.items())),
                 log_lines=tuple(self.pending_logs),
+                trace_id=trace_id,
             ))
         elif outcome.status == "crashed":
             self.endpoint.send(rpc.CrashReport(
@@ -264,6 +272,7 @@ class AppVisorStub:
                 error=outcome.error,
                 traceback_text=outcome.traceback_text,
                 log_lines=tuple(self.pending_logs),
+                trace_id=trace_id,
             ))
         # hung: say nothing -- heartbeats have stopped too.
 
@@ -278,6 +287,7 @@ class AppVisorStub:
             index=self._output_index,
             dpid=dpid,
             message=msg,
+            trace_id=self._current_trace,
         ))
         self._output_index += 1
 
@@ -295,6 +305,7 @@ class AppVisorStub:
                 app_name=self.app.name, restored_before_seq=0,
                 replayed_events=0, restore_cost=0.0,
                 ok=False, error="no usable checkpoint",
+                trace_id=frame.trace_id,
             ))
             return
         # The offending event is never replayed (it would crash again),
@@ -336,6 +347,7 @@ class AppVisorStub:
             restored_before_seq=checkpoint.before_seq,
             replayed_events=replayed, restore_cost=cost,
             ok=ok, error=error, sts_culprits=tuple(culprits),
+            trace_id=frame.trace_id,
         )
         # The restore (CRIU load + replay) takes time; delay the ack.
         self.sim.schedule(cost, self.endpoint.send, ack)
@@ -415,7 +427,8 @@ class AppVisorStub:
         if self.replica_factory is None or not self.checkpoints.count:
             self._send_deep_ack(offending, ok=False, cost=0.0,
                                 error="deep restore unavailable "
-                                      "(no replica factory)")
+                                      "(no replica factory)",
+                                trace_id=frame.trace_id)
             return
         from repro.core.crashpad.sts import (
             find_minimal_causal_sequence,
@@ -440,7 +453,8 @@ class AppVisorStub:
         )
         if offending_entry is None:
             self._send_deep_ack(offending, ok=False, cost=0.0,
-                                error="no offending event recorded")
+                                error="no offending event recorded",
+                                trace_id=frame.trace_id)
             return
         result = find_minimal_causal_sequence(
             self._build_replica, self.checkpoints.materialize(oldest),
@@ -462,7 +476,7 @@ class AppVisorStub:
                 offending, ok=failed_entry is None, cost=cost,
                 error="" if failed_entry is None else "replay crashed",
                 restored_before_seq=checkpoint.before_seq,
-                replayed=replayed,
+                replayed=replayed, trace_id=frame.trace_id,
             )
             return
         culprits = [seq for seq in result.culprit_seqs if seq != offending]
@@ -479,7 +493,8 @@ class AppVisorStub:
         if safe_before_seq is None:
             self._send_deep_ack(offending, ok=False, cost=0.0,
                                 error="no clean checkpoint in history",
-                                culprits=culprits)
+                                culprits=culprits,
+                                trace_id=frame.trace_id)
             return
         checkpoint = next(c for c in history
                           if c.before_seq == safe_before_seq)
@@ -499,12 +514,13 @@ class AppVisorStub:
             culprits=culprits,
             restored_before_seq=checkpoint.before_seq,
             replayed=replayed,
+            trace_id=frame.trace_id,
         )
 
     def _send_deep_ack(self, offending: int, ok: bool, cost: float,
                        error: str = "", culprits=(),
                        restored_before_seq: int = 0,
-                       replayed: int = 0) -> None:
+                       replayed: int = 0, trace_id: int = 0) -> None:
         ack = rpc.RestoreAck(
             app_name=self.app.name,
             restored_before_seq=restored_before_seq,
@@ -513,5 +529,6 @@ class AppVisorStub:
             ok=ok,
             error=error,
             sts_culprits=tuple(culprits),
+            trace_id=trace_id,
         )
         self.sim.schedule(cost, self.endpoint.send, ack)

@@ -51,6 +51,9 @@ class Transaction:
     state: TxnState = TxnState.OPEN
     records: List[NetLogRecord] = field(default_factory=list)
     passthrough_count: int = 0  # non-state-altering messages (PacketOut)
+    #: Causal identity of the event whose handling opened this txn;
+    #: carried onto commit/rollback spans and replication ship frames.
+    trace_id: Optional[int] = None
 
     @property
     def size(self) -> int:
@@ -178,18 +181,22 @@ class TransactionManager:
 
     # -- transaction lifecycle ------------------------------------------------
 
-    def begin(self, app_name: str, event_desc: str = "") -> Transaction:
+    def begin(self, app_name: str, event_desc: str = "",
+              trace_id: Optional[int] = None) -> Transaction:
+        if trace_id is None and self.telemetry.enabled:
+            trace_id = self.telemetry.tracer.current_trace
         txn = Transaction(
             txn_id=next(self._txn_ids),
             app_name=app_name,
             event_desc=event_desc,
             opened_at=self.sim.now,
+            trace_id=trace_id,
         )
         self.open_txns[txn.txn_id] = txn
         if self.telemetry.enabled:
             self.telemetry.tracer.event(
                 "netlog.txn.open", txn=txn.txn_id, app=app_name,
-                event=event_desc,
+                event=event_desc, trace=trace_id,
             )
         return txn
 
@@ -231,6 +238,7 @@ class TransactionManager:
             # between), so the span carries an explicit start.
             self.telemetry.tracer.record_span(
                 "netlog.txn", start=txn.opened_at, txn=txn.txn_id,
+                trace_id=txn.trace_id,
                 app=txn.app_name, outcome="commit", ops=txn.size,
             )
         # Deletes were intentional: drop any counter history we held
@@ -267,6 +275,7 @@ class TransactionManager:
         if self.telemetry.enabled:
             self.telemetry.tracer.record_span(
                 "netlog.txn", start=txn.opened_at, txn=txn.txn_id,
+                trace_id=txn.trace_id,
                 app=txn.app_name, outcome="rollback", ops=txn.size,
                 inverses_sent=sent,
             )

@@ -69,6 +69,10 @@ class RecordShip:
     message: object
     inverses: Tuple[object, ...]
     applied_at: float
+    #: Causal identity of the control-loop event whose transaction
+    #: produced this record (0 = untraced); lets the shipping channel's
+    #: delivery/retransmission spans attach to the event's causal tree.
+    trace_id: int = 0
 
 
 @register_dataclass
@@ -90,6 +94,9 @@ class TxnResolve:
     #: promoted primary's fresh TransactionManager).  Backups dedup
     #: and gap-detect resolves on this, never on ``txn_id``.
     resolve_seq: int = 0
+    #: Causal identity of the resolved transaction's event (0 =
+    #: untraced), mirroring :attr:`RecordShip.trace_id`.
+    trace_id: int = 0
 
 
 @register_dataclass

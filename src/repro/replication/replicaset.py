@@ -378,6 +378,7 @@ class ReplicaSet:
             message=record.message,
             inverses=tuple(record.inverse_messages),
             applied_at=record.applied_at,
+            trace_id=getattr(txn, "trace_id", None) or 0,
         )
         self.ship_history.append(("record", frame))
         for replica in self.live_backups():
@@ -394,6 +395,7 @@ class ReplicaSet:
             outcome=outcome,
             log_index=self.ship_index,
             resolve_seq=self.resolve_count,
+            trace_id=getattr(txn, "trace_id", None) or 0,
         )
         self.ship_history.append(("resolve", frame))
         for replica in self.live_backups():

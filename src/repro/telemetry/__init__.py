@@ -32,11 +32,14 @@ from typing import Callable, Optional
 
 from repro.metrics.collector import MetricsCollector
 from repro.telemetry.export import prometheus_text, trace_dict, trace_json
+from repro.telemetry.health import Anomaly, HealthWatchdog
 from repro.telemetry.recorder import FlightRecorder
 from repro.telemetry.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
 
 __all__ = [
+    "Anomaly",
     "FlightRecorder",
+    "HealthWatchdog",
     "NullTracer",
     "SpanRecord",
     "Telemetry",

@@ -71,12 +71,25 @@ def prometheus_text(metrics, prefix: str = "repro",
 
 def trace_dict(telemetry) -> dict:
     """The whole telemetry state as one JSON-safe document."""
-    return {
+    doc = {
         "enabled": telemetry.enabled,
         "spans": telemetry.tracer.to_dicts(),
         "flight_recorder": telemetry.recorder.dump(),
         "metrics": telemetry.metrics.snapshot(),
     }
+    if telemetry.enabled:
+        doc["dropped_spans"] = getattr(telemetry.tracer, "dropped", 0)
+        from repro.telemetry.causal import analyze
+
+        analysis = analyze(doc["spans"])
+        doc["critical_path"] = {
+            "traces": analysis.trace_count,
+            "total_time": analysis.total_time,
+            "attribution": {
+                name: entry for name, entry in analysis.top(20)
+            },
+        }
+    return doc
 
 
 def trace_json(telemetry, indent: Optional[int] = 2) -> str:

@@ -6,9 +6,13 @@ deployment's metrics:
 
 - ``GET /metrics``  -- Prometheus text exposition
   (:func:`~repro.telemetry.export.prometheus_text`)
-- ``GET /healthz``  -- liveness: 200 and a one-line status
+- ``GET /healthz``  -- liveness: 200 and a one-line status; with a
+  :class:`~repro.telemetry.health.HealthWatchdog` attached, a JSON
+  document with the health score, status, rolling percentiles, and
+  the recent anomaly list
 - ``GET /trace.json`` -- the full trace document
-  (:func:`~repro.telemetry.export.trace_json`)
+  (:func:`~repro.telemetry.export.trace_json`), including the causal
+  critical-path attribution when tracing is enabled
 
 The server runs on a daemon thread and renders each response at
 request time, so repeated scrapes observe the telemetry as it stands
@@ -18,6 +22,7 @@ exactly that).  Only the stdlib is used; nothing to install.
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
@@ -30,15 +35,19 @@ class MetricsServer:
 
     ``port=0`` (the default) binds an ephemeral port; read ``port``
     after :meth:`start` for the actual one.  ``health`` is an optional
-    zero-arg callable returning a status line for ``/healthz``.
+    zero-arg callable returning a status line for ``/healthz``; a
+    ``watchdog`` (:class:`~repro.telemetry.health.HealthWatchdog`)
+    upgrades ``/healthz`` to the full JSON health document instead.
     """
 
     def __init__(self, telemetry, host: str = "127.0.0.1", port: int = 0,
-                 health: Optional[Callable[[], str]] = None):
+                 health: Optional[Callable[[], str]] = None,
+                 watchdog=None):
         self.telemetry = telemetry
         self.host = host
         self.port = port
         self.health = health or (lambda: "ok")
+        self.watchdog = watchdog
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -56,8 +65,16 @@ class MetricsServer:
                         body = prometheus_text(server.telemetry.metrics)
                         ctype = "text/plain; version=0.0.4"
                     elif self.path == "/healthz":
-                        body = server.health() + "\n"
-                        ctype = "text/plain"
+                        if server.watchdog is not None:
+                            payload = server.watchdog.healthz_payload()
+                            # The liveness line keeps its place as a
+                            # human-readable field inside the document.
+                            payload["detail"] = server.health()
+                            body = json.dumps(payload, indent=2)
+                            ctype = "application/json"
+                        else:
+                            body = server.health() + "\n"
+                            ctype = "text/plain"
                     elif self.path == "/trace.json":
                         body = trace_json(server.telemetry)
                         ctype = "application/json"

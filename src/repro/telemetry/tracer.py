@@ -7,6 +7,17 @@ a NetLog transaction opened while the controller is dispatching a
 PacketIn records the dispatch span as its parent, so a finished trace
 reconstructs the causal timeline of one control-loop transit.
 
+Spans also carry a **trace id**: the identity of the control-loop
+event whose handling produced them.  The controller mints one at
+ingestion (:meth:`Tracer.mint_trace`); everything downstream -- RPC
+frames, NetLog transactions, replication shipping, retransmissions,
+Crash-Pad recoveries -- propagates it rather than minting again, so
+spans from every layer (and every replica) sharing a ``trace_id``
+assemble into one causal tree (:mod:`repro.telemetry.causal`).
+The ambient context lives in :attr:`Tracer.current_trace`; entering a
+span with an explicit or inherited trace id sets it for the dynamic
+extent, and split-phase completions restore it from the stashed id.
+
 Two span shapes exist because the stack has two kinds of duration:
 
 - synchronous work uses ``with tracer.span(name, **tags):`` (parented
@@ -14,19 +25,28 @@ Two span shapes exist because the stack has two kinds of duration:
 - split-phase work -- an event delivered now and completed by a later
   RPC frame, a recovery started at detection and finished at the
   RestoreAck -- uses :meth:`Tracer.record_span` with an explicit start
-  time, since no Python call frame brackets the interval.
+  time, passing the stashed ``parent_id``/``trace_id`` explicitly
+  (whatever span happens to be open at completion time is causally
+  unrelated).
 
 Tracing is **off by default**: every instrumented component holds a
 :data:`NULL_TRACER` unless the operator opted in, and the null paths
 cost one attribute load plus a truthiness check -- cheap enough that
 the tier-1 latency benchmarks cannot see the difference.
+
+Span retention is a **ring**: the newest ``max_spans`` spans are kept
+and the oldest evicted (counted in :attr:`Tracer.dropped` and the
+``trace.spans_dropped`` metric), so a long-lived ``repro serve``
+deployment holds O(max_spans) memory no matter how long it runs.
 """
 
 from __future__ import annotations
 
 import itertools
+import zlib
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 
 def json_safe(value):
@@ -47,6 +67,9 @@ class SpanRecord:
     end: float
     tags: Dict[str, object] = field(default_factory=dict)
     status: str = "ok"
+    #: The control-loop event this span belongs to (None = untraced
+    #: background work: heartbeats, context pushes, discovery).
+    trace_id: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -56,6 +79,7 @@ class SpanRecord:
         return {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "name": self.name,
             "start": self.start,
             "end": self.end,
@@ -91,16 +115,25 @@ class NullTracer:
     """
 
     enabled = False
+    #: Always None: the null tracer carries no trace context.  Class
+    #: attribute on purpose -- the shared instance must stay stateless,
+    #: so propagation sites never *assign* it without an enabled check.
+    current_trace = None
 
-    def span(self, name: str, **tags) -> _NullSpan:
+    def span(self, name: str, trace_id: Optional[int] = None,
+             **tags) -> _NullSpan:
         return _NULL_SPAN
 
     def event(self, name: str, **tags) -> None:
         pass
 
     def record_span(self, name: str, start: float, status: str = "ok",
-                    **tags) -> None:
+                    parent_id: Optional[int] = None,
+                    trace_id: Optional[int] = None, **tags) -> None:
         return None
+
+    def mint_trace(self) -> int:
+        return 0
 
     def to_dicts(self) -> List[dict]:
         return []
@@ -113,20 +146,33 @@ NULL_TRACER = NullTracer()
 class _ActiveSpan:
     """An open span; finishes (and records itself) on ``__exit__``."""
 
-    __slots__ = ("tracer", "name", "tags", "span_id", "parent_id", "start")
+    __slots__ = ("tracer", "name", "tags", "span_id", "parent_id",
+                 "trace_id", "start", "_prev_trace")
 
-    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, object]):
+    def __init__(self, tracer: "Tracer", name: str,
+                 trace_id: Optional[int], tags: Dict[str, object]):
         self.tracer = tracer
         self.name = name
         self.tags = tags
         self.span_id = next(tracer._ids)
         self.parent_id = None
+        self.trace_id = trace_id
         self.start = 0.0
+        self._prev_trace: Optional[int] = None
 
     def __enter__(self) -> "_ActiveSpan":
-        stack = self.tracer._stack
-        self.parent_id = stack[-1].span_id if stack else None
-        self.start = self.tracer.clock()
+        tracer = self.tracer
+        stack = tracer._stack
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            if self.trace_id is None:
+                self.trace_id = parent.trace_id
+        if self.trace_id is None:
+            self.trace_id = tracer.current_trace
+        self.start = tracer.clock()
+        self._prev_trace = tracer.current_trace
+        tracer.current_trace = self.trace_id
         stack.append(self)
         return self
 
@@ -134,21 +180,24 @@ class _ActiveSpan:
         self.tags[key] = value
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        stack = self.tracer._stack
+        tracer = self.tracer
+        stack = tracer._stack
         if stack and stack[-1] is self:
             stack.pop()
+        tracer.current_trace = self._prev_trace
         status = "ok"
         if exc_type is not None:
             status = "error"
             self.tags.setdefault("error", f"{exc_type.__name__}: {exc}")
-        self.tracer._finish(SpanRecord(
+        tracer._finish(SpanRecord(
             span_id=self.span_id,
             parent_id=self.parent_id,
             name=self.name,
             start=self.start,
-            end=self.tracer.clock(),
+            end=tracer.clock(),
             tags=self.tags,
             status=status,
+            trace_id=self.trace_id,
         ))
         return False  # never swallow exceptions
 
@@ -161,6 +210,8 @@ class Tracer:
     def __init__(self, clock: Optional[Callable[[], float]] = None,
                  recorder=None, metrics=None, max_spans: int = 20_000,
                  replica_id: Optional[str] = None):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
         #: Returns the current (simulated) time; rebindable so the
         #: tracer can be created before the Simulator exists.
         self.clock = clock or (lambda: 0.0)
@@ -173,28 +224,71 @@ class Tracer:
         #: deployments run one tracer per replica; merged dumps stay
         #: attributable because every span/event carries the id.
         self.replica_id = replica_id
-        self.spans: List[SpanRecord] = []
+        #: Retained spans, a ring: past ``max_spans`` the OLDEST span
+        #: is evicted (recent history always survives a long run).
+        self.spans: Deque[SpanRecord] = deque(maxlen=max_spans)
+        #: Spans evicted from the ring, lifetime.
         self.dropped = 0
+        #: The ambient trace id: spans and transactions opened while it
+        #: is set inherit it unless given an explicit one.
+        self.current_trace: Optional[int] = None
         self._stack: List[_ActiveSpan] = []
         self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    @property
+    def dropped_spans(self) -> int:
+        """Alias for :attr:`dropped` (the exported counter's name)."""
+        return self.dropped
+
+    # -- trace context -----------------------------------------------------
+
+    def mint_trace(self) -> int:
+        """A fresh trace id for one control-loop event at ingestion.
+
+        Replicated deployments mint from per-replica tracers; the id is
+        offset by a hash of the replica id so ids stay globally unique
+        when traces from several replicas are merged (a backup's
+        recovery spans must never collide with the primary's events).
+        """
+        base = 0
+        if self.replica_id is not None:
+            base = (zlib.crc32(self.replica_id.encode("utf-8"))
+                    & 0xFFFF) << 32
+        return base + next(self._trace_ids)
 
     # -- producing ---------------------------------------------------------
 
-    def span(self, name: str, **tags) -> _ActiveSpan:
-        """Open a nested span; use as a context manager."""
-        return _ActiveSpan(self, name, tags)
+    def span(self, name: str, trace_id: Optional[int] = None,
+             **tags) -> _ActiveSpan:
+        """Open a nested span; use as a context manager.
+
+        ``trace_id`` pins the span to a trace explicitly; otherwise it
+        inherits from the enclosing span, then from
+        :attr:`current_trace`.
+        """
+        return _ActiveSpan(self, name, trace_id, tags)
 
     def record_span(self, name: str, start: float, status: str = "ok",
-                    **tags) -> SpanRecord:
+                    parent_id: Optional[int] = None,
+                    trace_id: Optional[int] = None, **tags) -> SpanRecord:
         """Record a split-phase span that started at ``start``.
 
         Used where no call frame brackets the interval (an event
         completing via a later RPC frame, a recovery finishing at the
-        RestoreAck); such spans have no parent.
+        RestoreAck).  Pass the stashed ``parent_id``/``trace_id`` from
+        when the work *began* -- whatever span happens to be open at
+        completion time is causally unrelated, so nothing is inherited
+        from the stack.  ``trace_id`` falls back to the ambient
+        :attr:`current_trace` (set by the frame handler that carried
+        the completion).
         """
+        if trace_id is None:
+            trace_id = self.current_trace
         record = SpanRecord(
-            span_id=next(self._ids), parent_id=None, name=name,
+            span_id=next(self._ids), parent_id=parent_id, name=name,
             start=start, end=self.clock(), tags=tags, status=status,
+            trace_id=trace_id,
         )
         self._finish(record)
         return record
@@ -203,6 +297,8 @@ class Tracer:
         """Record a point-in-time trace event (no duration)."""
         if self.replica_id is not None:
             tags.setdefault("replica", self.replica_id)
+        if self.current_trace is not None:
+            tags.setdefault("trace", self.current_trace)
         if self.recorder is not None:
             self.recorder.record(self.clock(), "event", name, tags)
         if self.metrics is not None:
@@ -211,13 +307,16 @@ class Tracer:
     def _finish(self, record: SpanRecord) -> None:
         if self.replica_id is not None:
             record.tags.setdefault("replica", self.replica_id)
-        if len(self.spans) < self.max_spans:
-            self.spans.append(record)
-        else:
+        if len(self.spans) == self.max_spans:
             self.dropped += 1
+            if self.metrics is not None:
+                self.metrics.inc("trace.spans_dropped")
+        self.spans.append(record)
         if self.recorder is not None:
             flight_tags = dict(record.tags)
             flight_tags["duration"] = record.duration
+            if record.trace_id is not None:
+                flight_tags["trace"] = record.trace_id
             if record.status != "ok":
                 flight_tags["status"] = record.status
             self.recorder.record(record.end, "span", record.name, flight_tags)
