@@ -54,8 +54,33 @@ LEGACY_CONFIG = {
 CURRENT_CONFIG: dict = {}
 
 
-def capture_config(runtime_kwargs: dict, seed: int = 0) -> dict:
-    """Run the fixed workload; return the per-span summary."""
+def capture_config(runtime_kwargs: dict, seed: int = 0,
+                   shards: int | None = None) -> dict:
+    """Run the fixed workload; return the per-span summary.
+
+    With ``shards`` the same workload runs through a
+    :class:`~repro.shard.ShardCoordinator` instead of a bare runtime
+    -- ``shards=1`` is the CI re-verification that the sharding layer
+    adds no hot-path overhead when it is not dividing anything.
+    """
+    if shards is not None:
+        from repro.shard import ShardCoordinator
+
+        net = Network(linear_topology(2, 1), seed=seed)
+        coordinator = ShardCoordinator(
+            net, shards=shards, apps=(Hub, FlowMonitor),
+            telemetry_enabled=True, seed=seed,
+            runtime_kwargs=runtime_kwargs)
+        coordinator.start()
+        net.run_for(1.0)
+        for i in range(PROBES):
+            inject_marker_packet(net, "h1", "h2", f"probe-{i}")
+            net.run_for(0.2)
+        net.run_for(1.0)
+        spans = []
+        for handle in coordinator.shards.values():
+            spans.extend(trace_dict(handle.telemetry)["spans"])
+        return summarize_spans(spans, names=HOT_PATH_SPANS)
     telemetry = Telemetry(enabled=True)
     net = Network(linear_topology(2, 1), seed=seed, telemetry=telemetry)
     runtime = LegoSDNRuntime(net.controller, **runtime_kwargs)
@@ -100,9 +125,11 @@ def cmd_capture(args) -> int:
 def cmd_check(args) -> int:
     with open(args.baseline) as fh:
         baseline = json.load(fh)["summaries"]["current"]
-    current = capture_config(dict(CURRENT_CONFIG), seed=args.seed)
+    current = capture_config(dict(CURRENT_CONFIG), seed=args.seed,
+                             shards=args.shards)
+    label = "HEAD" if args.shards is None else f"HEAD (K={args.shards})"
     print(render_diff(diff_summaries(baseline, current),
-                      base_label=args.baseline, cand_label="HEAD"))
+                      base_label=args.baseline, cand_label=label))
     ok, message = check_regression(baseline, current,
                                    span=args.span,
                                    threshold=args.threshold)
@@ -125,6 +152,9 @@ def main(argv=None) -> int:
     p_check.add_argument("--span", default="appvisor.event")
     p_check.add_argument("--threshold", type=float, default=0.20)
     p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument("--shards", type=int, default=None,
+                         help="run the workload through a sharded "
+                              "plane with this K (1 = overhead gate)")
     p_check.set_defaults(func=cmd_check)
     args = parser.parse_args(argv)
     return args.func(args)

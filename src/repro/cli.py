@@ -178,6 +178,84 @@ def cmd_replicate(args) -> int:
     return 0 if (replicas.failovers and divergence == 0) else 1
 
 
+def cmd_shard(args) -> int:
+    """Sharded control-plane walk-through: K primary shards over one
+    fabric, a mid-run shard-primary kill (contained to its shard), and
+    freshness-bounded quorum reads served by warm backups."""
+    from repro.apps import LearningSwitch
+    from repro.network.net import Network
+    from repro.shard import ShardCoordinator, ShardReadGateway
+    from repro.workloads import ChurnWorkload, TrafficWorkload
+
+    net = Network(_build_topology(args.topology, args.size),
+                  seed=args.seed)
+    coordinator = ShardCoordinator(
+        net, shards=args.shards, apps=(LearningSwitch,),
+        backups=args.backups, service_time=args.service_time,
+        telemetry_enabled=True, seed=args.seed)
+    coordinator.start()
+    net.run_for(1.5)
+    print(f"sharded plane up: {args.shards} shards over "
+          f"{len(net.switches)} switches")
+    for shard_id, handle in sorted(coordinator.shards.items()):
+        print(f"  shard {shard_id}: dpids {handle.dpids} "
+              f"(primary {handle.primary.replica_id}, "
+              f"{args.backups} backup(s))")
+
+    TrafficWorkload(net, rate=args.rate, seed=args.seed).start(args.duration)
+    churn = None
+    if len(net.hosts) > 2 and args.churn > 0:
+        churn = ChurnWorkload(net, rate=args.churn, seed=args.seed)
+        churn.start(args.duration)
+    net.run_for(args.duration * 0.4)
+
+    victim = args.kill_shard
+    if victim is not None:
+        if victim not in coordinator.shards:
+            print(f"error: no shard {victim} "
+                  f"(valid: {sorted(coordinator.shards)})")
+            return 2
+        print(f"t={net.now:.2f}s: killing shard {victim}'s primary "
+              f"{coordinator.shards[victim].primary.replica_id}")
+        coordinator.crash_shard_primary(victim)
+    net.run_for(args.duration * 0.6 + 1.0)
+
+    gateway = ShardReadGateway(coordinator, freshness=args.freshness)
+    sample_dpid = sorted(net.switches)[0]
+    read = gateway.flow_rules(sample_dpid)
+    health = coordinator.shard_health()
+    ok = True
+    print(f"t={net.now:.2f}s: final state")
+    for shard_id, handle in sorted(coordinator.shards.items()):
+        rs = handle.replicas
+        divergence = rs.divergence()
+        ok = ok and divergence == 0
+        tag = " (failed over)" if rs.failovers else ""
+        print(f"  shard {shard_id}: primary {rs.primary.replica_id} "
+              f"epoch {rs.epoch}, failovers {len(rs.failovers)}, "
+              f"divergence {divergence}, "
+              f"ingested {handle.events_ingested()}{tag}")
+    if victim is not None:
+        ok = ok and len(coordinator.shards[victim].replicas.failovers) == 1
+        ok = ok and all(
+            not handle.replicas.failovers
+            for shard_id, handle in coordinator.shards.items()
+            if shard_id != victim)
+    print(f"  health:       {health['score']:.2f} ({health['status']})")
+    print(f"  quorum read:  dpid {sample_dpid} -> {len(read.rules)} "
+          f"rule(s) from {read.served_by} "
+          f"({'backup' if read.from_backup else 'primary fallback'}, "
+          f"staleness {read.staleness * 1000:.0f} ms, "
+          f"bound {args.freshness * 1000:.0f} ms)")
+    ok = ok and read.staleness <= args.freshness
+    up = churn.up_hosts() if churn else sorted(net.hosts)
+    pairs = [(a, b) for a in up for b in up if a != b]
+    reach = net.reachability(pairs=pairs, wait=1.0)
+    ok = ok and reach == 1.0
+    print(f"  reachability: {reach:.0%}")
+    return 0 if ok else 1
+
+
 def cmd_trace(args) -> int:
     """Run the quickstart scenario with tracing enabled; print the
     per-seam span summary and optionally save the full trace."""
@@ -607,6 +685,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_repl.add_argument("--churn", type=float, default=1.0,
                         help="host churn rate, events/s (default 1; 0 off)")
     p_repl.set_defaults(func=cmd_replicate)
+
+    p_shard = sub.add_parser("shard", help=cmd_shard.__doc__)
+    add_topo_args(p_shard)
+    p_shard.add_argument("--shards", type=_positive_int, default=3,
+                         help="primary shard count K (default 3)")
+    p_shard.add_argument("--backups", type=_positive_int, default=1,
+                         help="warm backups per shard (default 1)")
+    p_shard.add_argument("--service-time", type=float, default=0.0,
+                         help="per-event ingest service time, sim "
+                              "seconds (default 0: infinitely fast)")
+    p_shard.add_argument("--duration", type=float, default=6.0)
+    p_shard.add_argument("--rate", type=float, default=50.0,
+                         help="traffic rate, packets/s (default 50)")
+    p_shard.add_argument("--churn", type=float, default=1.0,
+                         help="host churn rate, events/s (default 1; 0 off)")
+    p_shard.add_argument("--kill-shard", type=int, default=None,
+                         metavar="K",
+                         help="kill this shard's primary mid-run "
+                              "(default: no fault)")
+    p_shard.add_argument("--freshness", type=float, default=0.5,
+                         help="quorum-read staleness bound, sim "
+                              "seconds (default 0.5)")
+    p_shard.set_defaults(func=cmd_shard)
 
     p_trace = sub.add_parser("trace", help=cmd_trace.__doc__)
     add_topo_args(p_trace)

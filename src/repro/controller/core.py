@@ -66,9 +66,12 @@ class Controller:
     def __init__(self, sim, control_delay: float = 0.0005,
                  discovery_interval: float = 0.5,
                  telemetry: Optional[Telemetry] = None,
-                 dispatch_shards: int = 8):
+                 dispatch_shards: int = 8,
+                 service_time: float = 0.0):
         if dispatch_shards < 1:
             raise ValueError("dispatch_shards must be >= 1")
+        if service_time < 0:
+            raise ValueError("service_time must be >= 0")
         self.sim = sim
         self.telemetry = telemetry or Telemetry()
         self.telemetry.bind_clock(lambda: self.sim.now)
@@ -105,6 +108,28 @@ class Controller:
         self.started = False
         self.messages_received = 0
         self.messages_sent = 0
+        #: Ingestion capacity model: CPU seconds of controller work per
+        #: switch message.  Zero (the default) ingests instantly -- the
+        #: pre-sharding behaviour, and the cost the latency benchmarks
+        #: see.  Positive values serialise ingestion through a single
+        #: logical core, which is precisely the bottleneck a sharded
+        #: control plane divides by K (E18 measures this).
+        self.service_time = service_time
+        self._ingest_free_at = 0.0
+        #: Incremented on crash so ingestion work queued by a previous
+        #: incarnation of the process dies with it (a rebooted
+        #: controller must not replay a dead process's backlog).
+        self._ingest_gen = 0
+        self.events_ingested = 0
+        #: Sharded deployments: this controller's shard id, and a
+        #: callable ``dpid -> Controller`` resolving the current owner
+        #: of a dpid.  A message arriving for a dpid another shard owns
+        #: (rebalance, operator repinning) is forwarded rather than
+        #: dropped.  Both stay None when unsharded -- the hot path then
+        #: pays one attribute check.
+        self.shard_id: Optional[int] = None
+        self.shard_router: Optional[Callable[[int], "Controller"]] = None
+        self.events_forwarded = 0
         # services
         self.topology = TopologyService(self)
         self.devices = DeviceManager(self)
@@ -157,10 +182,43 @@ class Controller:
     # -- message plumbing ------------------------------------------------------
 
     def handle_switch_message(self, dpid: int, msg) -> None:
-        """Entry point for switch->controller messages."""
+        """Entry point for switch->controller messages.
+
+        Sharded deployments route here: a message for a dpid this shard
+        does not own is handed to the owning shard's controller (at
+        most one hop -- the router answers from the current ring, so
+        the owner never re-forwards).  Ingestion then runs through the
+        capacity model: with ``service_time`` set, messages serialise
+        through one logical core and queue behind each other, which is
+        the single-primary bottleneck sharding exists to divide.
+        """
         if self.crashed:
             return
+        if self.shard_router is not None:
+            owner = self.shard_router(dpid)
+            if owner is not None and owner is not self:
+                self.events_forwarded += 1
+                owner.handle_switch_message(dpid, msg)
+                return
         self.messages_received += 1
+        if self.service_time > 0:
+            start = max(self.sim.now, self._ingest_free_at)
+            done = start + self.service_time
+            self._ingest_free_at = done
+            self.sim.schedule_at(done, self._ingest, dpid, msg,
+                                 self.sim.now, self._ingest_gen)
+            return
+        self._ingest(dpid, msg, self.sim.now, self._ingest_gen)
+
+    def _ingest(self, dpid: int, msg, arrived_at: float, gen: int) -> None:
+        """Ingestion proper, after any modelled service delay."""
+        if self.crashed or gen != self._ingest_gen:
+            return  # backlog of a dead process incarnation
+        self.events_ingested += 1
+        tracer = self.telemetry.tracer
+        if tracer.enabled and self.service_time > 0:
+            tracer.record_span("controller.ingest", start=arrived_at,
+                               dpid=dpid, event=msg.type_name)
         if isinstance(msg, PacketIn) and msg.packet is not None:
             if msg.packet.is_lldp():
                 # Discovery consumes LLDP; apps never see probe frames.
@@ -320,6 +378,10 @@ class Controller:
         )
         for queue in self._lanes:
             queue.clear()  # queued events die with the process
+        # The ingestion backlog dies too: scheduled service completions
+        # from this incarnation no-op on the generation check.
+        self._ingest_gen += 1
+        self._ingest_free_at = 0.0
         for channel in self.channels.values():
             channel.connected = False  # sessions drop silently; process is gone
         for callback in list(self.crash_callbacks):

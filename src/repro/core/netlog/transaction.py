@@ -54,6 +54,11 @@ class Transaction:
     #: Causal identity of the event whose handling opened this txn;
     #: carried onto commit/rollback spans and replication ship frames.
     trace_id: Optional[int] = None
+    #: Cross-shard transaction this local txn is a participant branch
+    #: of (None for ordinary single-shard transactions).  Set by the
+    #: CrossShardTxnManager so a shard's open-txn rollback and the
+    #: coordinator's compensation can recognise each other's work.
+    cross_id: Optional[int] = None
 
     @property
     def size(self) -> int:
@@ -182,7 +187,8 @@ class TransactionManager:
     # -- transaction lifecycle ------------------------------------------------
 
     def begin(self, app_name: str, event_desc: str = "",
-              trace_id: Optional[int] = None) -> Transaction:
+              trace_id: Optional[int] = None,
+              cross_id: Optional[int] = None) -> Transaction:
         if trace_id is None and self.telemetry.enabled:
             trace_id = self.telemetry.tracer.current_trace
         txn = Transaction(
@@ -191,6 +197,7 @@ class TransactionManager:
             event_desc=event_desc,
             opened_at=self.sim.now,
             trace_id=trace_id,
+            cross_id=cross_id,
         )
         self.open_txns[txn.txn_id] = txn
         if self.telemetry.enabled:

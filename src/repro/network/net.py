@@ -84,14 +84,27 @@ class Network:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def start(self) -> None:
-        """Connect switches to the controller and start services."""
+    def start(self, controller_for=None) -> None:
+        """Connect switches to the controller and start services.
+
+        ``controller_for`` (optional, ``dpid -> Controller``) wires each
+        switch to a specific controller instead of ``self.controller``
+        -- the seam a sharded deployment (:mod:`repro.shard`) uses to
+        give every shard its own switch subset.  Every distinct
+        controller returned is started exactly once.
+        """
         if self._started:
             return
         self._started = True
-        for switch in self.switches.values():
-            self.controller.connect_switch(switch)
-        self.controller.start()
+        started = []
+        for dpid in sorted(self.switches):
+            controller = (controller_for(dpid) if controller_for is not None
+                          else self.controller)
+            controller.connect_switch(self.switches[dpid])
+            if controller not in started:
+                started.append(controller)
+        for controller in started:
+            controller.start()
         self.sim.every(self.flow_sweep_interval, self._sweep_flows)
 
     def _sweep_flows(self) -> None:

@@ -93,6 +93,15 @@ class ControllerReplica:
     resync_dups: int = 0
     resync_requests: int = 0
     resync_requested_at: float = float("-inf")
+    #: Quorum-read eligibility: the primary's clock and log position as
+    #: of the last heartbeat this backup *received* (vs last_heartbeat,
+    #: which is the backup's own receive time).  A backup may serve a
+    #: read under freshness bound F only if hb_sent_at is within F and
+    #: it has contiguously folded everything the primary had resolved
+    #: by then -- see :meth:`ReplicaSet.read_eligible`.
+    hb_sent_at: float = float("-inf")
+    hb_log_index: int = 0
+    hb_resolve_count: int = 0
 
     @property
     def is_live(self) -> bool:
@@ -116,6 +125,33 @@ class FailoverRecord:
     orphan_txns: int
     orphan_inverses: int
     replayed_records: int
+
+
+@dataclass
+class QuorumReadResult:
+    """One freshness-bounded read answered by the replica set.
+
+    ``rules`` is the identity set of the flow rules the serving
+    replica's shadow holds for ``dpid`` -- the same (match, priority,
+    actions) triple the divergence metrics compare on.  ``staleness``
+    is an upper bound on how old the answer can be: 0 for the primary,
+    otherwise now minus the primary send-clock of the last heartbeat
+    the serving backup folded up to.  ``resolve_floor`` is how many
+    resolves the serving replica had contiguously folded -- provably >=
+    everything the primary resolved before (now - freshness) whenever a
+    backup serves (see :meth:`ReplicaSet.read_eligible`).
+    """
+
+    dpid: int
+    rules: frozenset
+    served_by: str
+    staleness: float
+    freshness: float
+    #: True when enough replicas were reachable that the answer is
+    #: backed by a majority-sized live cohort (primary included).
+    quorum_met: bool
+    from_backup: bool
+    resolve_floor: int
 
 
 class ReplicaSet:
@@ -144,13 +180,29 @@ class ReplicaSet:
                  quorum: bool = False,
                  quorum_timeout: float = 0.25,
                  resync_cooldown: float = 0.1,
-                 seed: int = 0):
+                 seed: int = 0,
+                 controller=None,
+                 dpids: Optional[List[int]] = None,
+                 shard_id: Optional[int] = None):
         if backups < 1:
             raise ValueError("a replica set needs at least one backup")
         if lease_timeout <= heartbeat_interval:
             raise ValueError("lease_timeout must exceed heartbeat_interval")
         self.net = net
         self.sim = net.sim
+        #: The switch subset this set serves.  Defaults to the whole
+        #: network (the unsharded deployment); a ShardCoordinator
+        #: passes each set its shard's dpids, scoping fencing, stats
+        #: polling, failover reconnection, and divergence accounting to
+        #: the owned switches only.
+        self.dpids: List[int] = sorted(
+            dpids if dpids is not None else net.switches)
+        unknown = [d for d in self.dpids if d not in net.switches]
+        if unknown:
+            raise ValueError(f"unknown dpids {unknown}")
+        self.shard_id = shard_id
+        primary_controller = controller if controller is not None \
+            else net.controller
         self.heartbeat_interval = heartbeat_interval
         self.lease_timeout = lease_timeout
         self.check_interval = check_interval
@@ -195,17 +247,30 @@ class ReplicaSet:
         self._pending_quorum: Dict[int, tuple] = {}
         self.failovers: List[FailoverRecord] = []
         self.fence = EpochFence(epoch=0)
-        for switch in net.switches.values():
-            switch.fence = self.fence
+        for dpid in self.dpids:
+            net.switches[dpid].fence = self.fence
         self._stop_heartbeat = None
         self._stop_stats = None
         self._primary_down_at: Optional[float] = None
         self._partitioned_replica: Optional[ControllerReplica] = None
+        #: Called with the newly promoted replica after every failover
+        #: (the coordinator re-attaches shard routing to the fresh
+        #: controller here).
+        self.on_promote: List = []
+        #: Quorum reads served, and how many had to fall back to the
+        #: primary because no backup met the freshness bound.
+        self.quorum_reads = 0
+        self.quorum_read_fallbacks = 0
+        #: (sim time, resolve_count) at each shipped resolve, bounded:
+        #: lets tests and operators ask "what had resolved by time T"
+        #: -- the floor a freshness-bounded read must clear.
+        self.resolve_times: List[tuple] = []
+        self.resolve_times_max = 4096
 
         primary = ControllerReplica(
             replica_id="r0",
-            controller=net.controller,
-            telemetry=net.controller.telemetry,
+            controller=primary_controller,
+            telemetry=primary_controller.telemetry,
             role=ReplicaRole.PRIMARY,
             runtime=runtime,
         )
@@ -213,18 +278,21 @@ class ReplicaSet:
         enabled = primary.telemetry.enabled
         flight_capacity = getattr(primary.telemetry.recorder, "capacity", 128)
         discovery_interval = getattr(
-            net.controller.discovery, "interval", 0.5)
+            primary_controller.discovery, "interval", 0.5)
         for i in range(1, backups + 1):
             replica_id = f"r{i}"
             telemetry = Telemetry(enabled=enabled,
                                   flight_capacity=flight_capacity,
-                                  replica_id=replica_id)
+                                  replica_id=replica_id,
+                                  shard_id=shard_id)
             controller = Controller(
                 self.sim,
-                control_delay=net.controller.control_delay,
+                control_delay=primary_controller.control_delay,
                 discovery_interval=discovery_interval,
                 telemetry=telemetry,
+                service_time=primary_controller.service_time,
             )
+            controller.shard_id = shard_id
             self.replicas.append(ControllerReplica(
                 replica_id=replica_id,
                 controller=controller,
@@ -308,6 +376,8 @@ class ReplicaSet:
         into no-ops the moment it stops being primary.
         """
         replica.telemetry.set_replica(replica.replica_id)
+        if self.shard_id is not None:
+            replica.telemetry.set_shard(self.shard_id)
         replica.controller.epoch = self.epoch
         manager = replica.runtime.proxy.manager
 
@@ -356,7 +426,7 @@ class ReplicaSet:
             if (replica.role is ReplicaRole.PRIMARY
                     and not replica.controller.crashed
                     and replica is not self._partitioned_replica):
-                for dpid in sorted(self.net.switches):
+                for dpid in self.dpids:
                     if self.net.switches[dpid].up:
                         replica.controller.send_to_switch(
                             dpid, FlowStatsRequest())
@@ -398,6 +468,10 @@ class ReplicaSet:
             trace_id=getattr(txn, "trace_id", None) or 0,
         )
         self.ship_history.append(("resolve", frame))
+        self.resolve_times.append((self.sim.now, self.resolve_count))
+        if len(self.resolve_times) > self.resolve_times_max:
+            del self.resolve_times[:len(self.resolve_times)
+                                   - self.resolve_times_max]
         for replica in self.live_backups():
             replica.channel.proxy_end.send(frame)
         if self.quorum and outcome == "commit":
@@ -580,6 +654,15 @@ class ReplicaSet:
                 self._send_ack(replica)
         elif isinstance(frame, ReplHeartbeat):
             replica.last_heartbeat = self.sim.now
+            # Quorum-read high-water marks: the primary's position *as
+            # of its send clock*.  Everything the primary resolved
+            # before ``sent_at`` is <= hb_resolve_count, which is the
+            # inequality read_eligible() leans on.
+            replica.hb_sent_at = max(replica.hb_sent_at, frame.sent_at)
+            replica.hb_log_index = max(replica.hb_log_index,
+                                       frame.log_index)
+            replica.hb_resolve_count = max(replica.hb_resolve_count,
+                                           frame.resolve_count)
             replica.app_progress = {
                 delta.app_name: delta for delta in frame.app_deltas
             }
@@ -720,10 +803,11 @@ class ReplicaSet:
         candidate.role = ReplicaRole.PRIMARY
         candidate.controller.epoch = self.epoch
 
-        # 2. Take over the switch sessions.  connect_switch repoints
-        # each switch's control channel, so switch->controller traffic
-        # flows to the new primary from here on.
-        for dpid in sorted(self.net.switches):
+        # 2. Take over the switch sessions (owned dpids only -- other
+        # shards' switches belong to their own sets).  connect_switch
+        # repoints each switch's control channel, so switch->controller
+        # traffic flows to the new primary from here on.
+        for dpid in self.dpids:
             switch = self.net.switches[dpid]
             if switch.up:
                 candidate.controller.connect_switch(switch)
@@ -808,6 +892,8 @@ class ReplicaSet:
         self._primary_down_at = None
         if self._partitioned_replica is old:
             self._partitioned_replica = None
+        for callback in list(self.on_promote):
+            callback(candidate)
         if candidate.telemetry.enabled:
             candidate.telemetry.tracer.record_span(
                 "replication.failover", start=down_at,
@@ -820,6 +906,101 @@ class ReplicaSet:
             candidate.telemetry.metrics.inc("replication.failovers")
             candidate.telemetry.metrics.observe(
                 "replication.failover_time", duration)
+
+    # -- quorum reads --------------------------------------------------------
+
+    def resolve_floor(self, before: float) -> int:
+        """How many resolves the primary had shipped by sim time
+        ``before`` -- the count a freshness-bounded read must cover."""
+        floor = 0
+        for at, count in self.resolve_times:
+            if at <= before:
+                floor = count
+            else:
+                break
+        return floor
+
+    def read_eligible(self, replica: ControllerReplica,
+                      freshness: float) -> bool:
+        """May this backup serve a read under ``freshness``?
+
+        Eligibility is provable staleness, not hope: the backup must
+        have heard a heartbeat the primary *sent* within the bound, and
+        have contiguously folded every record and resolve that
+        heartbeat advertised.  Then anything the primary resolved
+        before ``now - freshness`` was resolved before that heartbeat's
+        send clock, is counted in its high-water marks, and is already
+        folded here -- the read can be at most ``freshness`` old no
+        matter what the channel dropped since (loss only makes the
+        backup *ineligible*, never silently stale).
+        """
+        return (replica.role is ReplicaRole.BACKUP
+                and replica.is_live
+                and self.sim.now - replica.hb_sent_at <= freshness
+                and replica.contig_index >= replica.hb_log_index
+                and replica.contig_resolves >= replica.hb_resolve_count)
+
+    @staticmethod
+    def _rule_identities(table) -> frozenset:
+        if table is None:
+            return frozenset()
+        return frozenset(
+            (repr(e.match), e.priority, repr(tuple(e.actions)))
+            for e in table
+        )
+
+    def quorum_read(self, dpid: int, freshness: float = 0.5) -> QuorumReadResult:
+        """Serve a flow-state read from a warm backup when one is fresh
+        enough, falling back to the primary otherwise.
+
+        The primary stays the tie-breaker of truth, but every read a
+        backup absorbs is load the primary does not serve -- the
+        scaling story of sharded reads.  ``quorum_met`` reports whether
+        a majority-sized cohort (primary plus eligible backups) stood
+        behind the answer; with heavy loss it degrades honestly.
+        """
+        now = self.sim.now
+        eligible = [r for r in self.replicas
+                    if self.read_eligible(r, freshness)]
+        majority = self._majority()
+        primary = self.primary
+        primary_live = primary is not None and primary.is_live
+        cohort = len(eligible) + (1 if primary_live else 0)
+        self.quorum_reads += 1
+        if eligible:
+            best = max(eligible,
+                       key=lambda r: (r.contig_resolves, r.replica_id))
+            result = QuorumReadResult(
+                dpid=dpid,
+                rules=self._rule_identities(best.shadow.get(dpid)),
+                served_by=best.replica_id,
+                staleness=now - best.hb_sent_at,
+                freshness=freshness,
+                quorum_met=cohort >= majority,
+                from_backup=True,
+                resolve_floor=best.contig_resolves,
+            )
+        else:
+            self.quorum_read_fallbacks += 1
+            manager = primary.runtime.proxy.manager \
+                if primary_live and primary.runtime is not None else None
+            table = manager.shadow.get(dpid) if manager is not None else None
+            result = QuorumReadResult(
+                dpid=dpid,
+                rules=self._rule_identities(table),
+                served_by=primary.replica_id if primary_live else "none",
+                staleness=0.0,
+                freshness=freshness,
+                quorum_met=cohort >= majority,
+                from_backup=False,
+                resolve_floor=self.resolve_count,
+            )
+        if primary_live and primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.quorum_reads")
+            if not result.from_backup:
+                primary.telemetry.metrics.inc(
+                    "replication.quorum_read_fallbacks")
+        return result
 
     # -- consistency measurement ------------------------------------------------
 
@@ -844,7 +1025,7 @@ class ReplicaSet:
         manager = primary.runtime.proxy.manager
         now = self.sim.now
         total = 0
-        for dpid in sorted(self.net.switches):
+        for dpid in self.dpids:
             switch = self.net.switches[dpid]
             if not switch.up:
                 continue
@@ -903,6 +1084,9 @@ class ReplicaSet:
             "quorum_commits": self.quorum_commits,
             "quorum_stalls": self.quorum_stalls,
             "quorum_degraded": self.quorum_degraded,
+            "quorum_reads": self.quorum_reads,
+            "quorum_read_fallbacks": self.quorum_read_fallbacks,
+            "shard_id": self.shard_id,
             "replicas": {
                 r.replica_id: {
                     "role": r.role.value,

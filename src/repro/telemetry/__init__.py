@@ -56,16 +56,18 @@ class Telemetry:
     def __init__(self, enabled: bool = False,
                  clock: Optional[Callable[[], float]] = None,
                  flight_capacity: int = 128, max_spans: int = 20_000,
-                 replica_id: Optional[str] = None):
+                 replica_id: Optional[str] = None,
+                 shard_id: Optional[int] = None):
         self.enabled = enabled
         self.metrics = MetricsCollector()
         self.recorder = FlightRecorder(capacity=flight_capacity)
         self.replica_id = replica_id
+        self.shard_id = shard_id
         if enabled:
             self.tracer: object = Tracer(
                 clock=clock, recorder=self.recorder,
                 metrics=self.metrics, max_spans=max_spans,
-                replica_id=replica_id,
+                replica_id=replica_id, shard_id=shard_id,
             )
         else:
             self.tracer = NULL_TRACER
@@ -88,6 +90,16 @@ class Telemetry:
         self.replica_id = replica_id
         if self.enabled:
             self.tracer.replica_id = replica_id
+
+    def set_shard(self, shard_id: int) -> None:
+        """Tag all subsequent spans/events (and minted trace ids) with
+        a shard id.  Sharded deployments (:mod:`repro.shard`) call this
+        for every replica's telemetry so merged traces from K replica
+        sets stay attributable -- and so trace ids minted by same-named
+        replicas on different shards can never collide."""
+        self.shard_id = shard_id
+        if self.enabled:
+            self.tracer.shard_id = shard_id
 
     def flight_dump(self) -> list:
         """The flight recorder's retained events (empty when disabled)."""

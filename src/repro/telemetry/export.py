@@ -40,32 +40,57 @@ def _format_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _label_set(base_labels, extra=None) -> str:
+    """Render a Prometheus label brace set (empty string when bare)."""
+    items = list(base_labels)
+    if extra:
+        items.extend(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
 def prometheus_text(metrics, prefix: str = "repro",
-                    buckets: Sequence[float] = DEFAULT_BUCKETS) -> str:
-    """Render a MetricsCollector in Prometheus text exposition format."""
+                    buckets: Sequence[float] = DEFAULT_BUCKETS,
+                    labels: Optional[dict] = None) -> str:
+    """Render a MetricsCollector in Prometheus text exposition format.
+
+    ``labels`` (e.g. ``{"shard": "2"}``) is stamped onto every sample
+    so several collectors -- one per shard -- can be concatenated into
+    a single scrape body without their series colliding.  The bare
+    (label-free) rendering is byte-identical to what it was before the
+    parameter existed.
+    """
+    base_labels = sorted((labels or {}).items())
     lines: List[str] = []
     for name, value in sorted(metrics.counters.items()):
         metric = f"{prefix}_{sanitize_metric_name(name)}_total"
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {value}")
+        lines.append(f"{metric}{_label_set(base_labels)} {value}")
     for name, recorder in sorted(metrics.recorders.items()):
         base = f"{prefix}_{sanitize_metric_name(name)}_seconds"
         lines.append(f"# TYPE {base} summary")
         for quantile in (0.5, 0.95, 0.99):
+            label_set = _label_set(base_labels,
+                                   [("quantile", str(quantile))])
             lines.append(
-                f'{base}{{quantile="{quantile}"}} '
+                f"{base}{label_set} "
                 f"{_format_value(recorder.percentile(quantile * 100))}"
             )
-        lines.append(f"{base}_sum {_format_value(recorder.sum)}")
-        lines.append(f"{base}_count {recorder.count}")
+        lines.append(f"{base}_sum{_label_set(base_labels)} "
+                     f"{_format_value(recorder.sum)}")
+        lines.append(f"{base}_count{_label_set(base_labels)} "
+                     f"{recorder.count}")
         hist = f"{base}_hist"
         lines.append(f"# TYPE {hist} histogram")
         for bound, cumulative in recorder.histogram(buckets):
-            lines.append(
-                f'{hist}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
-            )
-        lines.append(f"{hist}_sum {_format_value(recorder.sum)}")
-        lines.append(f"{hist}_count {recorder.count}")
+            label_set = _label_set(base_labels,
+                                   [("le", _format_value(bound))])
+            lines.append(f"{hist}_bucket{label_set} {cumulative}")
+        lines.append(f"{hist}_sum{_label_set(base_labels)} "
+                     f"{_format_value(recorder.sum)}")
+        lines.append(f"{hist}_count{_label_set(base_labels)} "
+                     f"{recorder.count}")
     return "\n".join(lines) + "\n"
 
 

@@ -209,7 +209,8 @@ class Tracer:
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
                  recorder=None, metrics=None, max_spans: int = 20_000,
-                 replica_id: Optional[str] = None):
+                 replica_id: Optional[str] = None,
+                 shard_id: Optional[int] = None):
         if max_spans < 1:
             raise ValueError("max_spans must be >= 1")
         #: Returns the current (simulated) time; rebindable so the
@@ -224,6 +225,11 @@ class Tracer:
         #: deployments run one tracer per replica; merged dumps stay
         #: attributable because every span/event carries the id.
         self.replica_id = replica_id
+        #: Which shard this tracer's replica set belongs to (None for
+        #: unsharded deployments).  Folded into minted trace ids --
+        #: every shard runs replicas named r0..rN, so the replica crc
+        #: alone collides across shards.
+        self.shard_id = shard_id
         #: Retained spans, a ring: past ``max_spans`` the OLDEST span
         #: is evicted (recent history always survives a long run).
         self.spans: Deque[SpanRecord] = deque(maxlen=max_spans)
@@ -250,11 +256,17 @@ class Tracer:
         offset by a hash of the replica id so ids stay globally unique
         when traces from several replicas are merged (a backup's
         recovery spans must never collide with the primary's events).
+        Sharded deployments add the shard id as a distinct (exact, not
+        hashed) field above the replica hash: every shard names its
+        replicas r0..rN, so without the shard bits two shards' primaries
+        would mint identical ids.
         """
         base = 0
+        if self.shard_id is not None:
+            base |= (int(self.shard_id) & 0xFFFF) << 48
         if self.replica_id is not None:
-            base = (zlib.crc32(self.replica_id.encode("utf-8"))
-                    & 0xFFFF) << 32
+            base |= (zlib.crc32(self.replica_id.encode("utf-8"))
+                     & 0xFFFF) << 32
         return base + next(self._trace_ids)
 
     # -- producing ---------------------------------------------------------
@@ -297,6 +309,8 @@ class Tracer:
         """Record a point-in-time trace event (no duration)."""
         if self.replica_id is not None:
             tags.setdefault("replica", self.replica_id)
+        if self.shard_id is not None:
+            tags.setdefault("shard", self.shard_id)
         if self.current_trace is not None:
             tags.setdefault("trace", self.current_trace)
         if self.recorder is not None:
@@ -307,6 +321,8 @@ class Tracer:
     def _finish(self, record: SpanRecord) -> None:
         if self.replica_id is not None:
             record.tags.setdefault("replica", self.replica_id)
+        if self.shard_id is not None:
+            record.tags.setdefault("shard", self.shard_id)
         if len(self.spans) == self.max_spans:
             self.dropped += 1
             if self.metrics is not None:

@@ -33,13 +33,27 @@ class ChurnWorkload:
 
     def __init__(self, net, rate: float = 2.0,
                  hosts: Optional[List[str]] = None,
+                 dpids: Optional[List[int]] = None,
                  min_hosts: int = 2, fresh_mac: bool = True, seed: int = 0):
         if rate <= 0:
             raise ValueError("rate must be positive")
+        if hosts is not None and dpids is not None:
+            raise ValueError("pass hosts or dpids, not both")
         self.net = net
         self.rate = rate
         self.rng = random.Random(seed)
-        self.names = hosts or [spec.name for spec in net.topology.hosts]
+        #: ``dpids`` restricts churn to hosts attached to that switch
+        #: subset -- how a sharded experiment targets (or spares) one
+        #: shard's edge while leaving the rest of the fabric quiet.
+        self.dpids = sorted(dpids) if dpids is not None else None
+        if hosts is not None:
+            self.names = list(hosts)
+        elif dpids is not None:
+            allowed = set(dpids)
+            self.names = [spec.name for spec in net.topology.hosts
+                          if spec.dpid in allowed]
+        else:
+            self.names = [spec.name for spec in net.topology.hosts]
         if not self.names:
             raise ValueError("no hosts to churn")
         self.min_hosts = min(min_hosts, len(self.names))

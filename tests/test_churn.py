@@ -83,3 +83,36 @@ class TestChurnWorkload:
         churn._join("h2")
         net.run_for(0.5)
         assert net.reachability(wait=0.5) == 1.0
+
+
+class TestDpidSubset:
+    """Sharded experiments churn one shard's edge and spare the rest."""
+
+    def test_dpids_select_attached_hosts(self):
+        net, _ = build(switches=4)
+        churn = ChurnWorkload(net, dpids=[2, 3], seed=0)
+        expected = {spec.name for spec in net.topology.hosts
+                    if spec.dpid in (2, 3)}
+        assert set(churn.names) == expected
+        assert churn.dpids == [2, 3]
+
+    def test_churn_stays_inside_the_subset(self):
+        net, _ = build(switches=4)
+        churn = ChurnWorkload(net, dpids=[2], min_hosts=0, seed=3)
+        outside = {spec.name for spec in net.topology.hosts
+                   if spec.dpid != 2}
+        for _ in range(30):
+            event = churn.churn_one()
+            assert event.split(":")[1] not in outside
+        for name in outside:
+            assert net.host_link(name).up, f"{name} churned outside subset"
+
+    def test_hosts_and_dpids_are_mutually_exclusive(self):
+        net, _ = build()
+        with pytest.raises(ValueError):
+            ChurnWorkload(net, hosts=["h1"], dpids=[1])
+
+    def test_empty_subset_rejected(self):
+        net, _ = build(switches=3)
+        with pytest.raises(ValueError):
+            ChurnWorkload(net, dpids=[99])

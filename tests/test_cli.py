@@ -27,6 +27,13 @@ class TestParser:
         assert args.lease == 0.2
         assert args.flight_capacity == 128
 
+    def test_shard_defaults(self):
+        args = build_parser().parse_args(["shard"])
+        assert args.shards == 3
+        assert args.backups == 1
+        assert args.kill_shard is None
+        assert args.freshness == 0.5
+
     def test_flight_records_flag_and_alias(self):
         args = build_parser().parse_args(["trace", "--flight-records", "16"])
         assert args.flight_capacity == 16
@@ -109,6 +116,16 @@ class TestCommands:
         assert "failover -> epoch 1: r0 -> r1" in out
         assert "divergence:     0 rule(s)" in out
         assert "apps alive:     learning_switch" in out
+
+    def test_shard_contains_a_primary_kill(self, capsys):
+        assert main(["shard", "--size", "4", "--shards", "2",
+                     "--duration", "4", "--rate", "30",
+                     "--kill-shard", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded plane up: 2 shards over 4 switches" in out
+        assert "killing shard 1's primary r0" in out
+        assert "(failed over)" in out
+        assert "reachability: 100%" in out
 
     def test_serve_exposes_metrics(self, capsys, monkeypatch):
         """`repro serve` binds the HTTP endpoint and serves live metrics.

@@ -1,0 +1,98 @@
+"""Tests for the rendezvous-hash shard router: determinism, pins, and
+the minimal-movement property that makes rebalances cheap."""
+
+import pytest
+
+from repro.shard import ShardRouter
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        a = ShardRouter(4, seed=7)
+        b = ShardRouter(4, seed=7)
+        for dpid in range(1, 200):
+            assert a.shard_of(dpid) == b.shard_of(dpid)
+
+    def test_seed_changes_placement(self):
+        a = ShardRouter(4, seed=0)
+        b = ShardRouter(4, seed=1)
+        assert any(a.shard_of(d) != b.shard_of(d) for d in range(1, 200))
+
+    def test_every_shard_gets_work(self):
+        router = ShardRouter(4, seed=0)
+        parts = router.partition(range(1, 101))
+        assert sorted(parts) == [0, 1, 2, 3]
+        assert all(parts[s] for s in parts), "a shard got nothing"
+        assert sorted(d for ds in parts.values() for d in ds) == \
+            list(range(1, 101))
+
+    def test_single_shard_owns_everything(self):
+        router = ShardRouter(1, seed=0)
+        assert all(router.shard_of(d) == 0 for d in range(1, 50))
+
+    def test_needs_a_shard(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestMinimalMovement:
+    def test_remove_only_remaps_the_removed_shards_dpids(self):
+        router = ShardRouter(4, seed=3)
+        dpids = list(range(1, 201))
+        before = {d: router.shard_of(d) for d in dpids}
+        router.remove_shard(2)
+        for dpid in dpids:
+            if before[dpid] != 2:
+                assert router.shard_of(dpid) == before[dpid], \
+                    f"dpid {dpid} moved though shard 2 never owned it"
+            else:
+                assert router.shard_of(dpid) != 2
+
+    def test_add_back_restores_original_placement(self):
+        router = ShardRouter(4, seed=3)
+        dpids = list(range(1, 201))
+        before = {d: router.shard_of(d) for d in dpids}
+        router.remove_shard(2)
+        router.add_shard(2)
+        assert {d: router.shard_of(d) for d in dpids} == before
+
+    def test_moved_by_previews_without_mutating(self):
+        router = ShardRouter(4, seed=3)
+        dpids = list(range(1, 101))
+        before = {d: router.shard_of(d) for d in dpids}
+        moved = router.moved_by(lambda r: r.remove_shard(1), dpids)
+        assert moved == [d for d in dpids if before[d] == 1]
+        assert {d: router.shard_of(d) for d in dpids} == before
+        assert router.active == [0, 1, 2, 3]
+
+    def test_cannot_remove_last_shard(self):
+        router = ShardRouter(1)
+        with pytest.raises(ValueError):
+            router.remove_shard(0)
+
+
+class TestPins:
+    def test_pin_overrides_hash(self):
+        router = ShardRouter(4, seed=0)
+        natural = router.shard_of(42)
+        target = (natural + 1) % 4
+        router.pin(42, target)
+        assert router.shard_of(42) == target
+        router.unpin(42)
+        assert router.shard_of(42) == natural
+
+    def test_pin_to_departed_shard_falls_back_to_hash(self):
+        router = ShardRouter(4, seed=0)
+        router.pin(42, 3)
+        router.remove_shard(3)
+        assert router.shard_of(42) in (0, 1, 2)
+
+    def test_ctor_pin_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, pins={5: 7})
+
+    def test_partition_respects_pins(self):
+        router = ShardRouter(3, seed=0, pins={1: 2, 2: 2, 3: 2})
+        parts = router.partition([1, 2, 3])
+        assert parts[2] == [1, 2, 3]
+        assert parts[0] == [] and parts[1] == []
