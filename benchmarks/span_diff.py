@@ -33,6 +33,7 @@ from repro.apps import FlowMonitor, Hub
 from repro.network.net import Network
 from repro.network.topology import linear_topology
 from repro.core.runtime import LegoSDNRuntime
+from repro.openflow.serialization import wire_codec
 from repro.telemetry import Telemetry, trace_dict
 from repro.telemetry.spandiff import (
     HOT_PATH_SPANS,
@@ -45,11 +46,16 @@ from repro.workloads.traffic import inject_marker_packet
 
 PROBES = 30
 
-#: The pre-PR hot path, expressed in today's knobs.
+#: The pre-PR hot path, expressed in today's knobs.  ``wire_codec`` is
+#: a pseudo-knob: it flips the module-global serialization format (the
+#: named/self-describing pre-schema-interning encoding) for the whole
+#: capture rather than configuring the runtime.
 LEGACY_CONFIG = {
     "checkpoint_full_every": 1,
     "checkpoint_dedup": False,
     "channel_batch": False,
+    "checkpoint_codec": "pickle",
+    "wire_codec": "named",
 }
 CURRENT_CONFIG: dict = {}
 
@@ -63,6 +69,14 @@ def capture_config(runtime_kwargs: dict, seed: int = 0,
     -- ``shards=1`` is the CI re-verification that the sharding layer
     adds no hot-path overhead when it is not dividing anything.
     """
+    runtime_kwargs = dict(runtime_kwargs)
+    codec = runtime_kwargs.pop("wire_codec", "packed")
+    with wire_codec(codec):
+        return _capture_config(runtime_kwargs, seed=seed, shards=shards)
+
+
+def _capture_config(runtime_kwargs: dict, seed: int = 0,
+                    shards: int | None = None) -> dict:
     if shards is not None:
         from repro.shard import ShardCoordinator
 

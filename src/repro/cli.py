@@ -16,6 +16,7 @@ Gives operators the common workflows without writing a script:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.version import __version__
@@ -407,6 +408,7 @@ def cmd_trace_critical_path(args) -> int:
     from repro.telemetry.causal import analyze
 
     watchdog = None
+    telemetry = None
     if args.infile:
         spans = _load_spans(args.infile)
     else:
@@ -417,6 +419,17 @@ def cmd_trace_critical_path(args) -> int:
         print("no traced spans to analyze")
         return 1
     print(analysis.render(args.top))
+    if telemetry is not None:
+        from repro.telemetry.export import bytes_per_event
+
+        metrics = telemetry.metrics
+        derived = bytes_per_event(metrics)
+        if derived is not None:
+            sent = metrics.counters.get("channel.bytes_sent", 0)
+            recv = metrics.counters.get("channel.bytes_recv", 0)
+            events = metrics.recorders["span.appvisor.event"].count
+            print(f"wire: {sent} B sent, {recv} B delivered, "
+                  f"{events} events -> {derived:.1f} bytes/event")
     if watchdog is not None:
         payload = watchdog.healthz_payload()
         watchdog.stop()
@@ -631,6 +644,69 @@ def cmd_show_topology(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Sustained-load harness: synthetic 10^5-10^6 host universes
+    driven through the full sharded stack on the sim clock."""
+    import dataclasses as _dc
+
+    from repro.bench import PRESETS, check_report, run_scenario
+
+    scenario = PRESETS[args.preset]
+    overrides = {}
+    for name in ("hosts", "rate", "sim_seconds", "warmup_seconds",
+                 "shards", "churn_per_sec", "ceiling_mb", "seed"):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    if overrides:
+        scenario = _dc.replace(scenario, **overrides)
+    print(f"bench {scenario.name}: {scenario.hosts:,} hosts, "
+          f"rate {scenario.rate:g}/s, {scenario.sim_seconds:g}s sim, "
+          f"K={scenario.shards}, codec={args.codec}, "
+          f"ceiling {scenario.ceiling_mb:g} MB")
+    report = run_scenario(scenario, codec=args.codec, log=print)
+    results = report.results
+    latency = results.get("latency_ms") or {}
+    print(f"  events: {results['events_completed']:,} completed "
+          f"({results['events_per_sim_sec']:,} /sim-s), "
+          f"{results['events_dropped']} dropped")
+    print("  latency ms: " + ", ".join(
+        f"{k}={latency[k]:.3f}" for k in ("p50", "p99", "p99_9")
+        if k in latency and latency[k] == latency[k]))
+    bpe = results.get("bytes_per_event")
+    print(f"  wire: {results['bytes_sent']:,} B sent"
+          + (f", {bpe:.1f} B/event" if bpe else ""))
+    print(f"  wall {report.environment['wall_seconds']:.1f}s, "
+          f"peak RSS {report.environment['peak_rss_mb']:.0f} MB")
+    if report.aborted:
+        print(f"  ABORTED: {report.aborted}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {args.out}")
+    if args.check:
+        with open(args.check) as fh:
+            doc = json.load(fh)
+        runs = doc.get("runs", [doc])
+        baseline = next(
+            (run for run in runs
+             if run.get("scenario", {}).get("name") == scenario.name
+             and run.get("codec") == args.codec), None)
+        if baseline is None:
+            print(f"check: no baseline for ({scenario.name}, "
+                  f"{args.codec}) in {args.check}", file=sys.stderr)
+            return 1
+        ok, lines = check_report(baseline, report,
+                                 threshold=args.threshold)
+        print(f"check vs {args.check} (budget {args.threshold:.0%}):")
+        for line in lines:
+            print(f"  {line}")
+        if not ok:
+            return 1
+    return 0 if report.completed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -824,6 +900,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_topo = sub.add_parser("show-topology", help=cmd_show_topology.__doc__)
     add_topo_args(p_topo)
     p_topo.set_defaults(func=cmd_show_topology)
+
+    from repro.bench import CODECS as _bench_codecs
+    from repro.bench import PRESETS as _bench_presets
+    p_bench = sub.add_parser("bench", help=cmd_bench.__doc__)
+    p_bench.add_argument("--preset", choices=sorted(_bench_presets),
+                         default="smoke")
+    p_bench.add_argument("--codec", choices=_bench_codecs,
+                         default="packed")
+    p_bench.add_argument("--hosts", type=_positive_int, default=None)
+    p_bench.add_argument("--rate", type=float, default=None,
+                         help="injected flows per simulated second")
+    p_bench.add_argument("--sim-seconds", type=float, default=None,
+                         dest="sim_seconds")
+    p_bench.add_argument("--warmup-seconds", type=float, default=None,
+                         dest="warmup_seconds")
+    p_bench.add_argument("--shards", type=_positive_int, default=None)
+    p_bench.add_argument("--churn", type=float, default=None,
+                         dest="churn_per_sec",
+                         help="host re-addressings per simulated second")
+    p_bench.add_argument("--ceiling-mb", type=float, default=None,
+                         dest="ceiling_mb",
+                         help="peak-RSS abort ceiling in MB")
+    p_bench.add_argument("--seed", type=int, default=None)
+    p_bench.add_argument("--out", default=None,
+                         help="write the full report JSON here")
+    p_bench.add_argument("--check", default=None, metavar="BASELINE",
+                         help="gate against a committed baseline doc "
+                              "(exit nonzero on regression)")
+    p_bench.add_argument("--threshold", type=float, default=0.15,
+                         help="fractional regression budget for --check")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -128,6 +128,13 @@ class ChannelEndpoint:
         self.handler: Optional[Callable] = None
         self.frames_sent = 0
         self.bytes_sent = 0
+        self.frames_recv = 0
+        self.bytes_recv = 0
+
+    @property
+    def channel(self) -> "UdpChannel":
+        """The channel this endpoint is one side of (for byte_stats)."""
+        return self._channel
 
     def on_frame(self, handler: Callable) -> None:
         """Install the receive handler for this endpoint."""
@@ -148,6 +155,7 @@ class ChannelEndpoint:
             return
         data = encode_frame(frame)
         self.bytes_sent += len(data)
+        self._channel._note_sent(len(data))
         self._channel._transmit(self._side, data, frames=1,
                                 trace_ids=self._channel._trace_ids_of(frame),
                                 kinds=self._channel._frame_kinds_of(frame))
@@ -255,6 +263,7 @@ class UdpChannel:
             frame = FrameBatch(frames=tuple(pending))
         data = encode_frame(frame)
         self._endpoint(from_side).bytes_sent += len(data)
+        self._note_sent(len(data))
         self.batches_flushed += 1
         self.frames_batched += len(pending)
         self._transmit(from_side, data, frames=len(pending),
@@ -402,6 +411,13 @@ class UdpChannel:
         for callback in list(self.on_fault):
             callback(fault)
 
+    def _note_sent(self, nbytes: int) -> None:
+        """Account payload bytes a side handed to the wire (pre-loss,
+        pre-envelope: the application-level send volume that the
+        ``bytes/event`` derived metric divides by events)."""
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.metrics.inc("channel.bytes_sent", nbytes)
+
     def _note_loss(self, from_side: str, kind: str) -> None:
         """A datagram died on the wire: count it, leave a trace.
 
@@ -490,7 +506,11 @@ class UdpChannel:
     def _count_delivery(self, from_side: str, frames: int, nbytes: int,
                         sent_at: float, frame=None) -> None:
         self.datagrams_delivered += 1
+        dest = self._endpoint("stub" if from_side == "proxy" else "proxy")
+        dest.frames_recv += frames
+        dest.bytes_recv += nbytes
         if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.metrics.inc("channel.bytes_recv", nbytes)
             tids = frame_trace_ids(frame) if frame is not None else ()
             self.telemetry.tracer.record_span(
                 self.span_name, start=sent_at,
@@ -582,6 +602,16 @@ class UdpChannel:
     def unacked_count(self, side: str) -> int:
         """Datagrams this side has sent but not yet had acknowledged."""
         return len(self._send_state[side].unacked)
+
+    def byte_stats(self) -> Dict[str, int]:
+        """Per-endpoint wire volume (payload bytes, both directions)."""
+        return {
+            "proxy_bytes_sent": self.proxy_end.bytes_sent,
+            "proxy_bytes_recv": self.proxy_end.bytes_recv,
+            "stub_bytes_sent": self.stub_end.bytes_sent,
+            "stub_bytes_recv": self.stub_end.bytes_recv,
+            "bytes_carried": self.bytes_carried,
+        }
 
     def reliability_stats(self) -> Dict[str, int]:
         return {

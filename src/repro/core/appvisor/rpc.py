@@ -254,7 +254,12 @@ def envelope_for(seq: int, floor: int, payload: bytes) -> SeqEnvelope:
 
 def envelope_intact(env: SeqEnvelope) -> bool:
     """Whether header and payload survived the wire unmodified."""
-    return _header_crc(env.seq, env.floor, env.payload) == env.crc
+    try:
+        return _header_crc(env.seq, env.floor, env.payload) == env.crc
+    except (TypeError, ValueError):
+        # A bit-flip can mutate a field's *type tag* so the payload
+        # decodes as a non-bytes value; that is corruption too.
+        return False
 
 
 def ack_for(cumulative: int) -> ChannelAck:
@@ -265,7 +270,10 @@ def ack_for(cumulative: int) -> ChannelAck:
 
 def ack_intact(ack: ChannelAck) -> bool:
     """Whether the ack's cumulative field survived the wire."""
-    return zlib.crc32(b"%d" % ack.cumulative) == ack.crc
+    try:
+        return zlib.crc32(b"%d" % ack.cumulative) == ack.crc
+    except (TypeError, ValueError):
+        return False
 
 
 def encode_frame(frame) -> bytes:

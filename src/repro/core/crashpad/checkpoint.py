@@ -1,7 +1,7 @@
 """Checkpoint/restore of SDN-App state (CRIU substitute).
 
 The paper's prototype uses CRIU to checkpoint the whole app process
-(JVM) before dispatching every message (§4.1).  Our substitute pickles
+(JVM) before dispatching every message (§4.1).  Our substitute encodes
 the app's state dict -- same semantics (a full, restorable image of
 the app's mutable state at a point in time) -- and charges a modelled
 cost in simulated time, proportional to image size, so the E7
@@ -15,18 +15,35 @@ events" -- we go further and make each checkpoint itself cheap):
   checkpoint, a zero-byte **dedup** entry is recorded and only the
   hash cost is charged;
 - a **full** image is written every ``full_every`` checkpoints, with
-  per-key state **deltas** in between (changed/added keys pickled
+  per-key state **deltas** in between (changed/added keys encoded
   individually, removed keys listed), the CRIU ``--track-mem``
   incremental-dump analogue;
 - restore materialises a delta entry by loading the chain's full image
   and folding the deltas forward, so restore-equivalence with full
-  pickles holds for every chain prefix;
+  images holds for every chain prefix;
 - restore also *truncates*: entries newer than the restored checkpoint
   describe a future the rollback abandoned, and are dropped so later
   takes (dedup aliases, delta diffs) and :meth:`CheckpointStore.
   latest_before` can never resurrect that timeline's state;
 - eviction past ``keep`` promotes the new oldest entry to a full image
   first, so truncating a chain never strands its deltas.
+
+Every state value is serialised **once** per take: the blake2b dedup
+hash, the delta diff, and the stored blob all read the same per-key
+encoded buffer (a full image stores the buffers themselves, keyed --
+the ``"keymap"`` layout -- rather than re-encoding the whole state).
+The buffers are produced by a pluggable value codec:
+
+- ``codec="pickle"`` (the default): ``pickle.dumps`` per value, the
+  original format, with the original CRIU-style cost model;
+- ``codec="schema"``: the packed wire codec from
+  :mod:`repro.openflow.serialization` (schema-interned field names,
+  varint ints; unrepresentable values fall back to pickle per value).
+  Because encoding is an in-process, per-key userspace pass -- not a
+  freeze-the-world incremental dump -- delta takes charge
+  ``encode_per_byte_cost`` over the *changed* bytes instead of the
+  fixed ``delta_base_cost`` freeze, which is what makes per-event
+  checkpointing cheap enough for the E19 load envelope.
 
 A checkpoint taken *before* event ``seq`` is keyed by ``before_seq``:
 it captures the state produced by events ``1 .. seq-1``.
@@ -39,6 +56,11 @@ import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.openflow.serialization import (
+    decode_state_value,
+    encode_state_value,
+)
+
 
 class CheckpointError(RuntimeError):
     """State could not be snapshotted or restored."""
@@ -50,27 +72,36 @@ FULL = "full"
 DELTA = "delta"
 DEDUP = "dedup"
 
+#: Blob layouts for FULL entries: a monolithic pickled state (non-dict
+#: fallback) or a pickled ``{key: encoded-value-buffer}`` map.
+STATE = "state"
+KEYMAP = "keymap"
+
 
 @dataclass
 class Checkpoint:
     """One snapshot of an app's state.
 
-    ``blob`` holds the full pickled state for ``kind == "full"``, the
-    pickled ``(changed, removed)`` diff for ``"delta"``, and is empty
-    for ``"dedup"`` entries (the state equals the previous entry's).
+    ``blob`` holds the image for ``kind == "full"`` (layout ``"state"``:
+    the whole state pickled; layout ``"keymap"``: a pickled map of
+    per-key encoded buffers), the pickled ``(changed, removed)`` diff
+    for ``"delta"``, and is empty for ``"dedup"`` entries (the state
+    equals the previous entry's).
     """
 
     before_seq: int
     taken_at: float
     blob: bytes
     kind: str = FULL
-    #: blake2b digest of the state's per-key pickles (dedup identity).
+    #: blake2b digest of the state's per-key buffers (dedup identity).
     state_hash: bytes = b""
-    #: Total size of the state's per-key pickles (the "image size" the
+    #: Total size of the state's per-key buffers (the "image size" the
     #: hash pass reads, and what a full dump of this state would cost).
     state_size: int = 0
     #: Modelled sim-time cost charged when this checkpoint was taken.
     cost: float = 0.0
+    #: Blob layout for FULL entries (STATE or KEYMAP).
+    layout: str = STATE
 
     @property
     def size(self) -> int:
@@ -85,10 +116,13 @@ class CheckpointStore:
     image and ``per_byte_cost`` the image-size-proportional part;
     ``delta_base_cost`` is the (much smaller) freeze overhead of an
     incremental dump, and ``hash_per_byte_cost`` what the dedup hash
-    pass charges per state byte.  All costs are in simulated seconds.
-    ``keep`` bounds retention (rollbacks only ever reach back a bounded
-    number of events -- §5 discusses reading "a history of snapshots");
-    ``full_every`` caps delta-chain length so restores stay cheap.
+    pass charges per state byte.  With ``codec="schema"`` deltas are
+    charged ``encode_per_byte_cost`` over the changed bytes instead of
+    ``delta_base_cost`` (userspace incremental encode, no freeze).
+    All costs are in simulated seconds.  ``keep`` bounds retention
+    (rollbacks only ever reach back a bounded number of events -- §5
+    discusses reading "a history of snapshots"); ``full_every`` caps
+    delta-chain length so restores stay cheap.
     """
 
     def __init__(self, keep: int = 16, base_cost: float = 0.010,
@@ -96,11 +130,15 @@ class CheckpointStore:
                  full_every: int = 8,
                  delta_base_cost: float = 0.002,
                  hash_per_byte_cost: float = 2e-9,
-                 dedup: bool = True):
+                 dedup: bool = True,
+                 codec: str = "pickle",
+                 encode_per_byte_cost: float = 5e-9):
         if keep < 1:
             raise ValueError("keep must be >= 1")
         if full_every < 1:
             raise ValueError("full_every must be >= 1")
+        if codec not in ("pickle", "schema"):
+            raise ValueError(f"unknown checkpoint codec: {codec!r}")
         self.keep = keep
         self.base_cost = base_cost
         self.per_byte_cost = per_byte_cost
@@ -108,9 +146,11 @@ class CheckpointStore:
         self.delta_base_cost = delta_base_cost
         self.hash_per_byte_cost = hash_per_byte_cost
         self.dedup = dedup
+        self.codec = codec
+        self.encode_per_byte_cost = encode_per_byte_cost
         self._checkpoints: List[Checkpoint] = []
-        #: Per-key pickles of the most recent state (take or restore),
-        #: the diff base for the next delta.
+        #: Per-key encoded buffers of the most recent state (take or
+        #: restore), the diff base for the next delta.
         self._prev_key_blobs: Optional[Dict[object, bytes]] = None
         self._prev_hash: bytes = b""
         #: Entries since (and including) the last full image; resets
@@ -127,15 +167,31 @@ class CheckpointStore:
         self.total_bytes = 0
         self.bytes_written = 0
         self.total_cost = 0.0
+        #: Value-codec invocation counts.  ``value_encodes`` is the
+        #: serialize-call count the double-serialization regression
+        #: test pins: one encode per state key per (non-dedup'd
+        #: differing) take, no re-encodes for the stored image.
+        self.value_encodes = 0
+        self.value_decodes = 0
+
+    # -- value codec -----------------------------------------------------
+
+    def _encode_val(self, value) -> bytes:
+        self.value_encodes += 1
+        if self.codec == "schema":
+            return encode_state_value(value)
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _decode_val(self, buf: bytes):
+        self.value_decodes += 1
+        if self.codec == "schema":
+            return decode_state_value(buf)
+        return pickle.loads(buf)
 
     # -- snapshot --------------------------------------------------------
 
-    @staticmethod
-    def _key_blobs(state: dict) -> Dict[object, bytes]:
-        return {
-            key: pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            for key, value in state.items()
-        }
+    def _key_blobs(self, state: dict) -> Dict[object, bytes]:
+        return {key: self._encode_val(value) for key, value in state.items()}
 
     @staticmethod
     def _hash_of(key_blobs: Dict[object, bytes]) -> bytes:
@@ -159,6 +215,7 @@ class CheckpointStore:
             else:
                 # Non-dict states fall back to monolithic snapshots.
                 key_blobs = None
+                self.value_encodes += 1
                 full_blob = pickle.dumps(state,
                                          protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
@@ -174,12 +231,29 @@ class CheckpointStore:
                 before_seq=before_seq, taken_at=now, blob=full_blob,
                 kind=FULL, state_hash=b"", state_size=len(full_blob),
                 cost=self.base_cost + len(full_blob) * self.per_byte_cost,
+                layout=STATE,
             ))
             self._prev_key_blobs = None
             self._prev_hash = b""
         self.taken_count += 1
         self.total_cost += checkpoint.cost
         return checkpoint
+
+    @staticmethod
+    def _keymap_blob(key_blobs: Dict[object, bytes]) -> bytes:
+        """Serialise the per-key buffer map as a FULL image, reusing
+        the already-encoded buffers (no per-value re-serialization)."""
+        return pickle.dumps(key_blobs, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _delta_cost(self, hash_cost: float, changed_bytes: int,
+                    blob_len: int) -> float:
+        if self.codec == "schema":
+            # Userspace incremental encode: pay per changed byte, no
+            # freeze-the-world constant.
+            return (hash_cost + changed_bytes * self.encode_per_byte_cost
+                    + blob_len * self.per_byte_cost)
+        return (hash_cost + self.delta_base_cost
+                + blob_len * self.per_byte_cost)
 
     def _take_incremental(self, before_seq: int, now: float,
                           key_blobs: Dict[object, bytes],
@@ -203,21 +277,20 @@ class CheckpointStore:
             removed = tuple(k for k in prev if k not in key_blobs)
             blob = pickle.dumps((changed, removed),
                                 protocol=pickle.HIGHEST_PROTOCOL)
+            changed_bytes = sum(len(b) for b in changed.values())
             checkpoint = self._append(Checkpoint(
                 before_seq=before_seq, taken_at=now, blob=blob,
                 kind=DELTA, state_hash=state_hash, state_size=state_size,
-                cost=(hash_cost + self.delta_base_cost
-                      + len(blob) * self.per_byte_cost),
+                cost=self._delta_cost(hash_cost, changed_bytes, len(blob)),
             ))
         else:
-            blob = pickle.dumps(
-                {k: pickle.loads(b) for k, b in key_blobs.items()},
-                protocol=pickle.HIGHEST_PROTOCOL)
+            blob = self._keymap_blob(key_blobs)
             checkpoint = self._append(Checkpoint(
                 before_seq=before_seq, taken_at=now, blob=blob,
                 kind=FULL, state_hash=state_hash, state_size=state_size,
                 cost=(hash_cost + self.base_cost
                       + len(blob) * self.per_byte_cost),
+                layout=KEYMAP,
             ))
         self._prev_key_blobs = key_blobs
         self._prev_hash = state_hash
@@ -243,15 +316,18 @@ class CheckpointStore:
         If the survivor at the cut is a delta or dedup entry, it is
         promoted to a full image first (materialised through the
         entries about to be dropped), so truncation never strands a
-        chain's tail past its base.
+        chain's tail past its base.  Promotion folds the chain's
+        *buffers* -- values are never decoded or re-encoded.
         """
         survivor = self._checkpoints[count]
         if survivor.kind != FULL:
-            blob = self.materialize(survivor)
+            blobs = self._materialize_blobs(survivor)
+            blob = self._keymap_blob(blobs)
             self.total_bytes += len(blob) - survivor.size
             self.bytes_written += len(blob)
             survivor.blob = blob
             survivor.kind = FULL
+            survivor.layout = KEYMAP
         for old in self._checkpoints[:count]:
             self.total_bytes -= old.size
         self.evicted_count += count
@@ -299,12 +375,16 @@ class CheckpointStore:
                 return entry
         return None
 
-    def materialize(self, checkpoint: Checkpoint) -> bytes:
-        """The full pickled state at ``checkpoint``, reconstructing
-        delta/dedup entries from their chain (restore-equivalent to a
-        full image taken at the same point)."""
+    def _materialize_blobs(self, checkpoint: Checkpoint) -> Dict[object, bytes]:
+        """The per-key encoded buffers at ``checkpoint``, reconstructing
+        delta/dedup entries by folding their chain at the buffer level
+        (no value decodes)."""
         if checkpoint.kind == FULL:
-            return checkpoint.blob
+            if checkpoint.layout != KEYMAP:
+                raise CheckpointError(
+                    f"checkpoint before_seq={checkpoint.before_seq} "
+                    "has a monolithic image, not per-key buffers")
+            return dict(pickle.loads(checkpoint.blob))
         idx = self._index_of(checkpoint)
         chain: List[Checkpoint] = []
         base: Optional[Checkpoint] = None
@@ -313,22 +393,37 @@ class CheckpointStore:
                 base = entry
                 break
             chain.append(entry)
-        if base is None:
+        if base is None or base.layout != KEYMAP:
             raise CheckpointError(
                 f"delta chain for before_seq={checkpoint.before_seq} "
                 "has no full image")
         try:
-            state = pickle.loads(base.blob)
+            blobs = dict(pickle.loads(base.blob))
             for entry in reversed(chain):
                 if entry.kind != DELTA:
                     continue  # dedup: state unchanged
                 changed, removed = pickle.loads(entry.blob)
                 for key in removed:
-                    state.pop(key, None)
-                for key, blob in changed.items():
-                    state[key] = pickle.loads(blob)
+                    blobs.pop(key, None)
+                blobs.update(changed)
         except CheckpointError:
             raise
+        except Exception as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint chain at "
+                f"before_seq={checkpoint.before_seq}: {exc}") from exc
+        return blobs
+
+    def materialize(self, checkpoint: Checkpoint) -> bytes:
+        """The full pickled state at ``checkpoint``, reconstructing
+        delta/dedup entries from their chain (restore-equivalent to a
+        full image taken at the same point)."""
+        if checkpoint.kind == FULL and checkpoint.layout == STATE:
+            return checkpoint.blob
+        blobs = self._materialize_blobs(checkpoint)
+        try:
+            state = {key: self._decode_val(buf)
+                     for key, buf in blobs.items()}
         except Exception as exc:
             raise CheckpointError(
                 f"corrupt checkpoint chain at "
@@ -344,8 +439,14 @@ class CheckpointStore:
         later :meth:`latest_before` pick one -- silently restoring the
         pre-rollback timeline's state.
         """
+        blobs: Optional[Dict[object, bytes]] = None
         try:
-            state = pickle.loads(self.materialize(checkpoint))
+            if checkpoint.kind == FULL and checkpoint.layout == STATE:
+                state = pickle.loads(checkpoint.blob)
+            else:
+                blobs = self._materialize_blobs(checkpoint)
+                state = {key: self._decode_val(buf)
+                         for key, buf in blobs.items()}
         except CheckpointError:
             raise
         except Exception as exc:
@@ -359,8 +460,13 @@ class CheckpointStore:
         # state, not the state of the last take (which the rollback
         # just discarded).  A dedup may alias the restored entry --
         # truncation just made it the newest -- which is exactly the
-        # state an unchanged take would re-capture.
-        if isinstance(state, dict):
+        # state an unchanged take would re-capture.  The materialised
+        # buffers *are* the encoded form of the restored state, so
+        # they seed the diff base with no re-encode.
+        if blobs is not None:
+            self._prev_key_blobs = blobs
+            self._prev_hash = self._hash_of(blobs)
+        elif isinstance(state, dict):
             self._prev_key_blobs = self._key_blobs(state)
             self._prev_hash = self._hash_of(self._prev_key_blobs)
         else:
@@ -413,4 +519,7 @@ class CheckpointStore:
             "retained_bytes": self.total_bytes,
             "bytes_written": self.bytes_written,
             "total_cost": self.total_cost,
+            "codec": self.codec,
+            "value_encodes": self.value_encodes,
+            "value_decodes": self.value_decodes,
         }

@@ -48,6 +48,8 @@ class LegoSDNRuntime:
                  checkpoint_full_every: int = 8,
                  checkpoint_delta_cost: float = 0.002,
                  checkpoint_dedup: bool = True,
+                 checkpoint_codec: str = "schema",
+                 checkpoint_encode_per_byte_cost: float = 5e-9,
                  parallel_lanes: bool = False,
                  seed: int = 0):
         self.controller = controller
@@ -84,6 +86,11 @@ class LegoSDNRuntime:
         self.checkpoint_full_every = checkpoint_full_every
         self.checkpoint_delta_cost = checkpoint_delta_cost
         self.checkpoint_dedup = checkpoint_dedup
+        #: Value codec for checkpoint images: ``"schema"`` (packed wire
+        #: codec, per-changed-byte delta costs) or ``"pickle"`` (the
+        #: legacy format with CRIU-style fixed delta freeze costs).
+        self.checkpoint_codec = checkpoint_codec
+        self.checkpoint_encode_per_byte_cost = checkpoint_encode_per_byte_cost
         self.seed = seed
         self.crashpad = CrashPad(policy_table=policy_table,
                                  tickets=TicketStore())
@@ -136,6 +143,8 @@ class LegoSDNRuntime:
             full_every=self.checkpoint_full_every,
             delta_base_cost=self.checkpoint_delta_cost,
             dedup=self.checkpoint_dedup,
+            codec=self.checkpoint_codec,
+            encode_per_byte_cost=self.checkpoint_encode_per_byte_cost,
         )
         stub = AppVisorStub(
             self.sim, app,

@@ -15,16 +15,30 @@ class LatencyRecorder:
     experiments often record tens, not millions, of samples.  The
     sorted order is cached between records, so a ``summary()`` (three
     percentile reads) sorts once, not three times.
+
+    With ``max_samples`` the recorder keeps only the newest N samples
+    (a sliding window) while ``count``/``sum``/``mean`` stay *totals*
+    over everything ever recorded -- sustained load runs (hours of sim
+    time, millions of events) need bounded memory, and percentiles
+    over a recent window are what a live dashboard wants anyway.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", max_samples: Optional[int] = None):
         self.name = name
-        self.samples: List[float] = []
+        self.max_samples = max_samples
+        if max_samples is None:
+            self.samples: Sequence[float] = []
+        else:
+            from collections import deque
+
+            self.samples = deque(maxlen=max_samples)
+        self._count = 0
         self._total = 0.0
         self._sorted: Optional[List[float]] = None
 
     def record(self, value: float) -> None:
         self.samples.append(value)
+        self._count += 1
         self._total += value
         self._sorted = None
 
@@ -35,7 +49,8 @@ class LatencyRecorder:
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        """Total samples ever recorded (not just the retained window)."""
+        return self._count
 
     @property
     def sum(self) -> float:
@@ -43,9 +58,9 @@ class LatencyRecorder:
 
     @property
     def mean(self) -> float:
-        if not self.samples:
+        if not self._count:
             return math.nan
-        return self._total / len(self.samples)
+        return self._total / self._count
 
     @property
     def minimum(self) -> float:
@@ -90,9 +105,15 @@ class LatencyRecorder:
 
 
 class MetricsCollector:
-    """A named bag of counters and latency recorders."""
+    """A named bag of counters and latency recorders.
 
-    def __init__(self):
+    ``max_samples`` bounds every recorder to a sliding window of that
+    many samples (see :class:`LatencyRecorder`); the default keeps
+    everything, as before.
+    """
+
+    def __init__(self, max_samples: Optional[int] = None):
+        self.max_samples = max_samples
         self.counters: Dict[str, int] = {}
         self.recorders: Dict[str, LatencyRecorder] = {}
 
@@ -102,7 +123,8 @@ class MetricsCollector:
     def observe(self, name: str, value: float) -> None:
         recorder = self.recorders.get(name)
         if recorder is None:
-            recorder = self.recorders[name] = LatencyRecorder(name)
+            recorder = self.recorders[name] = LatencyRecorder(
+                name, max_samples=self.max_samples)
         recorder.record(value)
 
     def recorder(self, name: str) -> Optional[LatencyRecorder]:

@@ -34,6 +34,13 @@ def _next_packet_id() -> int:
     return next(_packet_ids)
 
 
+def reset_packet_ids() -> None:
+    """Restart packet id allocation at 1 (reproducible-byte harness
+    runs only; see ``repro.openflow.messages.reset_xid_counter``)."""
+    global _packet_ids
+    _packet_ids = itertools.count(1)
+
+
 @register_dataclass
 @dataclass(frozen=True)
 class Packet:

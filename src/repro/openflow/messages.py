@@ -24,6 +24,17 @@ def next_xid() -> int:
     return next(_xid_counter)
 
 
+def reset_xid_counter() -> None:
+    """Restart xid allocation at 1.
+
+    For reproducible-byte harness runs only (varint-encoded xids change
+    length with magnitude, so two otherwise-identical runs in one
+    process would differ in wire bytes); never call this mid-deployment.
+    """
+    global _xid_counter
+    _xid_counter = itertools.count(1)
+
+
 class FlowModCommand(enum.IntEnum):
     """Flow-table modification commands (OFPFC_*)."""
 

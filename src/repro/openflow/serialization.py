@@ -19,16 +19,38 @@ Layout::
     body:    field_count (u8), then per field: name (str) | value (tagged)
 
 Tagged values: a tag byte followed by a type-specific payload.  Lists,
-tuples, enums, and registered dataclasses (Match, every Action, packet
-classes, stats entries) nest recursively.
+tuples, dicts, sets, enums, and registered dataclasses (Match, every
+Action, packet classes, stats entries) nest recursively.
+
+Two codecs share this layout:
+
+- **named** (the legacy format): every dataclass value spells out its
+  class name and each field name as a length-prefixed string, ints are
+  fixed 8 bytes.  Self-describing but wasteful -- a ``Packet`` spends
+  more bytes on the strings ``"src_mac"``, ``"dst_mac"``, ... than on
+  the values.
+- **packed** (the default): class and enum names are interned once at
+  registration into small integer *schema ids*; frames carry
+  ``schema_id + field count + packed values``, field order is the
+  dataclass declaration order on both sides, and ints are zigzag
+  LEB128 varints.  Decoding tolerates *trailing* missing fields (they
+  take their dataclass defaults), so adding a defaulted field keeps
+  old captures readable.
+
+The active codec is a module-level switch (:func:`set_wire_codec`);
+the decoder accepts both formats unconditionally -- packed message
+frames flag themselves with the high bit of the header type id -- so
+mixed-codec runs (A/B benchmarks) interoperate.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
+import pickle
 import struct
-from typing import Dict, Type
+from typing import Dict, List, Tuple, Type
 
 from repro.openflow import actions as _actions
 from repro.openflow import messages as _messages
@@ -46,13 +68,33 @@ _T_LIST = 6
 _T_TUPLE = 7
 _T_DATACLASS = 8
 _T_ENUM = 9
+_T_DICT = 10
+_T_SET = 11
+_T_FROZENSET = 12
+#: Packed dataclass: varint schema id + u8 field count + values in
+#: declaration order (no field names on the wire).
+_T_SCHEMA = 13
+#: Packed enum: varint enum id + varint member value.
+_T_ENUM_ID = 14
+#: Zigzag LEB128 integer (1 byte for small ints vs 8 for ``_T_INT``).
+_T_VARINT = 15
 
 _HEADER = struct.Struct("!BII")
+#: High bit of the header type id: body is packed (positional) format.
+_PACKED_FLAG = 0x80
 
 #: Registered dataclasses encodable as values (name -> class).
 _dataclass_registry: Dict[str, type] = {}
 #: Registered enums (name -> class).
 _enum_registry: Dict[str, Type[enum.Enum]] = {}
+#: Schema interning: class name -> small integer id, assigned in
+#: registration order (import order is identical on both ends of the
+#: simulated wire, so ids agree without a handshake).
+_schema_ids: Dict[str, int] = {}
+_schema_classes: List[type] = []
+_schema_fields: List[Tuple[dataclasses.Field, ...]] = []
+_enum_ids: Dict[str, int] = {}
+_enum_classes: List[Type[enum.Enum]] = []
 
 
 class SerializationError(ValueError):
@@ -63,18 +105,64 @@ def register_dataclass(cls: type) -> type:
     """Register a dataclass so it can cross the RPC boundary.
 
     Used by the packet model and any custom app payloads.  Returns the
-    class so it can be used as a decorator.
+    class so it can be used as a decorator.  Registration also interns
+    the class into the packed codec's schema table.
     """
     if not dataclasses.is_dataclass(cls):
         raise SerializationError(f"{cls.__name__} is not a dataclass")
     _dataclass_registry[cls.__name__] = cls
+    if cls.__name__ not in _schema_ids:
+        _schema_ids[cls.__name__] = len(_schema_classes)
+        _schema_classes.append(cls)
+        _schema_fields.append(tuple(dataclasses.fields(cls)))
     return cls
 
 
 def register_enum(cls: Type[enum.Enum]) -> Type[enum.Enum]:
-    """Register an enum for wire transport."""
+    """Register an enum for wire transport (also interns an enum id)."""
     _enum_registry[cls.__name__] = cls
+    if cls.__name__ not in _enum_ids:
+        _enum_ids[cls.__name__] = len(_enum_classes)
+        _enum_classes.append(cls)
     return cls
+
+
+def schema_table() -> Dict[str, int]:
+    """The interned schema ids (class name -> id), for diagnostics."""
+    return dict(_schema_ids)
+
+
+# -- codec switch -----------------------------------------------------
+
+_VALID_CODECS = ("packed", "named")
+_wire_codec = "packed"
+
+
+def set_wire_codec(name: str) -> None:
+    """Select the encoder: ``"packed"`` (default) or ``"named"``.
+
+    Decoding always accepts both formats; this only controls what new
+    frames look like, so A/B comparisons can flip it per run.
+    """
+    global _wire_codec
+    if name not in _VALID_CODECS:
+        raise ValueError(f"unknown wire codec: {name!r}")
+    _wire_codec = name
+
+
+def get_wire_codec() -> str:
+    return _wire_codec
+
+
+@contextlib.contextmanager
+def wire_codec(name: str):
+    """Context manager: temporarily switch the wire codec."""
+    prev = get_wire_codec()
+    set_wire_codec(name)
+    try:
+        yield
+    finally:
+        set_wire_codec(prev)
 
 
 class _Writer:
@@ -91,6 +179,16 @@ class _Writer:
 
     def f64(self, v: float):
         self._chunks.append(struct.pack("!d", v))
+
+    def varint(self, v: int):
+        # Zigzag so small negatives stay small, then LEB128.
+        z = v * 2 if v >= 0 else -v * 2 - 1
+        out = bytearray()
+        while z > 0x7F:
+            out.append((z & 0x7F) | 0x80)
+            z >>= 7
+        out.append(z)
+        self._chunks.append(bytes(out))
 
     def raw(self, b: bytes):
         self._chunks.append(struct.pack("!I", len(b)))
@@ -126,6 +224,19 @@ class _Reader:
     def f64(self) -> float:
         return struct.unpack("!d", self._take(8))[0]
 
+    def varint(self) -> int:
+        z = 0
+        shift = 0
+        while True:
+            b = self._take(1)[0]
+            z |= (b & 0x7F) << shift
+            if not b & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise SerializationError("varint too long")
+        return z >> 1 if z % 2 == 0 else -(z >> 1) - 1
+
     def raw(self) -> bytes:
         (n,) = struct.unpack("!I", self._take(4))
         return self._take(n)
@@ -137,19 +248,36 @@ class _Reader:
         return self._pos >= len(self._data)
 
 
-def _write_value(w: _Writer, value) -> None:
+def _sorted_members(value):
+    try:
+        return sorted(value)
+    except TypeError:
+        return sorted(value, key=repr)
+
+
+def _write_value(w: _Writer, value, packed: bool) -> None:
     if value is None:
         w.u8(_T_NONE)
     elif isinstance(value, bool):
         w.u8(_T_BOOL)
         w.u8(1 if value else 0)
     elif isinstance(value, enum.Enum):
-        w.u8(_T_ENUM)
-        w.string(type(value).__name__)
-        w.i64(int(value.value))
+        name = type(value).__name__
+        if packed and name in _enum_ids:
+            w.u8(_T_ENUM_ID)
+            w.varint(_enum_ids[name])
+            w.varint(int(value.value))
+        else:
+            w.u8(_T_ENUM)
+            w.string(name)
+            w.i64(int(value.value))
     elif isinstance(value, int):
-        w.u8(_T_INT)
-        w.i64(value)
+        if packed:
+            w.u8(_T_VARINT)
+            w.varint(value)
+        else:
+            w.u8(_T_INT)
+            w.i64(value)
     elif isinstance(value, float):
         w.u8(_T_FLOAT)
         w.f64(value)
@@ -163,23 +291,48 @@ def _write_value(w: _Writer, value) -> None:
         w.u8(_T_LIST)
         w.i64(len(value))
         for item in value:
-            _write_value(w, item)
+            _write_value(w, item, packed)
     elif isinstance(value, tuple):
         w.u8(_T_TUPLE)
         w.i64(len(value))
         for item in value:
-            _write_value(w, item)
+            _write_value(w, item, packed)
+    elif isinstance(value, dict):
+        w.u8(_T_DICT)
+        w.varint(len(value))
+        for k, v in value.items():
+            _write_value(w, k, packed)
+            _write_value(w, v, packed)
+    elif isinstance(value, frozenset):
+        w.u8(_T_FROZENSET)
+        w.varint(len(value))
+        for item in _sorted_members(value):
+            _write_value(w, item, packed)
+    elif isinstance(value, set):
+        w.u8(_T_SET)
+        w.varint(len(value))
+        for item in _sorted_members(value):
+            _write_value(w, item, packed)
     elif dataclasses.is_dataclass(value):
         name = type(value).__name__
         if name not in _dataclass_registry:
             raise SerializationError(f"unregistered dataclass on wire: {name}")
-        w.u8(_T_DATACLASS)
-        w.string(name)
-        flds = dataclasses.fields(value)
-        w.u8(len(flds))
-        for f in flds:
-            w.string(f.name)
-            _write_value(w, getattr(value, f.name))
+        if packed:
+            sid = _schema_ids[name]
+            w.u8(_T_SCHEMA)
+            w.varint(sid)
+            flds = _schema_fields[sid]
+            w.u8(len(flds))
+            for f in flds:
+                _write_value(w, getattr(value, f.name), packed)
+        else:
+            w.u8(_T_DATACLASS)
+            w.string(name)
+            flds = dataclasses.fields(value)
+            w.u8(len(flds))
+            for f in flds:
+                w.string(f.name)
+                _write_value(w, getattr(value, f.name), packed)
     else:
         raise SerializationError(f"unserialisable value: {value!r}")
 
@@ -195,8 +348,16 @@ def _read_value(r: _Reader):
         value = r.i64()
         cls = _enum_registry.get(name)
         return cls(value) if cls is not None else value
+    if tag == _T_ENUM_ID:
+        eid = r.varint()
+        value = r.varint()
+        if eid >= len(_enum_classes):
+            raise SerializationError(f"unknown enum id on wire: {eid}")
+        return _enum_classes[eid](value)
     if tag == _T_INT:
         return r.i64()
+    if tag == _T_VARINT:
+        return r.varint()
     if tag == _T_FLOAT:
         return r.f64()
     if tag == _T_STR:
@@ -207,6 +368,17 @@ def _read_value(r: _Reader):
         return [_read_value(r) for _ in range(r.i64())]
     if tag == _T_TUPLE:
         return tuple(_read_value(r) for _ in range(r.i64()))
+    if tag == _T_DICT:
+        n = r.varint()
+        out = {}
+        for _ in range(n):
+            k = _read_value(r)
+            out[k] = _read_value(r)
+        return out
+    if tag == _T_SET:
+        return {_read_value(r) for _ in range(r.varint())}
+    if tag == _T_FROZENSET:
+        return frozenset(_read_value(r) for _ in range(r.varint()))
     if tag == _T_DATACLASS:
         name = r.string()
         cls = _dataclass_registry.get(name)
@@ -216,6 +388,21 @@ def _read_value(r: _Reader):
         for _ in range(r.u8()):
             fname = r.string()
             values[fname] = _read_value(r)
+        return cls(**values)
+    if tag == _T_SCHEMA:
+        sid = r.varint()
+        if sid >= len(_schema_classes):
+            raise SerializationError(f"unknown schema id on wire: {sid}")
+        cls = _schema_classes[sid]
+        flds = _schema_fields[sid]
+        n = r.u8()
+        if n > len(flds):
+            raise SerializationError(
+                f"schema {cls.__name__}: wire has {n} fields, "
+                f"decoder knows {len(flds)}")
+        # Trailing fields absent on the wire take their declared
+        # defaults -- adding a defaulted field is a compatible change.
+        values = {flds[i].name: _read_value(r) for i in range(n)}
         return cls(**values)
     raise SerializationError(f"unknown value tag: {tag}")
 
@@ -276,14 +463,17 @@ def encode_message(msg: _messages.Message) -> bytes:
     cls = type(msg)
     if cls not in _type_to_id:
         raise SerializationError(f"unregistered message type: {cls.__name__}")
+    packed = _wire_codec == "packed"
     w = _Writer()
     flds = [f for f in dataclasses.fields(msg) if f.name != "xid"]
     w.u8(len(flds))
     for f in flds:
-        w.string(f.name)
-        _write_value(w, getattr(msg, f.name))
+        if not packed:
+            w.string(f.name)
+        _write_value(w, getattr(msg, f.name), packed)
     body = w.getvalue()
-    return _HEADER.pack(_type_to_id[cls], msg.xid & 0xFFFFFFFF, len(body)) + body
+    type_id = _type_to_id[cls] | (_PACKED_FLAG if packed else 0)
+    return _HEADER.pack(type_id, msg.xid & 0xFFFFFFFF, len(body)) + body
 
 
 def decode_message(data: bytes) -> _messages.Message:
@@ -291,6 +481,8 @@ def decode_message(data: bytes) -> _messages.Message:
     if len(data) < _HEADER.size:
         raise SerializationError("buffer shorter than header")
     type_id, xid, body_len = _HEADER.unpack_from(data)
+    packed = bool(type_id & _PACKED_FLAG)
+    type_id &= ~_PACKED_FLAG
     body = data[_HEADER.size : _HEADER.size + body_len]
     if len(body) != body_len:
         raise SerializationError("truncated body")
@@ -299,9 +491,19 @@ def decode_message(data: bytes) -> _messages.Message:
         raise SerializationError(f"unknown message type id: {type_id}")
     r = _Reader(body)
     values = {}
-    for _ in range(r.u8()):
-        fname = r.string()
-        values[fname] = _read_value(r)
+    if packed:
+        flds = [f for f in dataclasses.fields(cls) if f.name != "xid"]
+        n = r.u8()
+        if n > len(flds):
+            raise SerializationError(
+                f"{cls.__name__}: wire has {n} fields, "
+                f"decoder knows {len(flds)}")
+        for i in range(n):
+            values[flds[i].name] = _read_value(r)
+    else:
+        for _ in range(r.u8()):
+            fname = r.string()
+            values[fname] = _read_value(r)
     msg = cls(**values)
     msg.xid = xid
     return msg
@@ -312,13 +514,50 @@ def encoded_size(msg: _messages.Message) -> int:
     return len(encode_message(msg))
 
 
-def encode_value(value) -> bytes:
-    """Serialise any supported value (the RPC payload codec)."""
+def encode_value(value, codec: str = None) -> bytes:
+    """Serialise any supported value (the RPC payload codec).
+
+    ``codec`` overrides the module-level switch for this one call.
+    """
+    if codec is None:
+        codec = _wire_codec
+    elif codec not in _VALID_CODECS:
+        raise ValueError(f"unknown wire codec: {codec!r}")
     w = _Writer()
-    _write_value(w, value)
+    _write_value(w, value, codec == "packed")
     return w.getvalue()
 
 
 def decode_value(data: bytes):
-    """Parse a value produced by :func:`encode_value`."""
+    """Parse a value produced by :func:`encode_value` (either codec)."""
     return _read_value(_Reader(data))
+
+
+# -- checkpoint value codec -------------------------------------------
+
+#: First byte of a checkpoint value buffer: which codec follows.
+_B_PACKED = b"\x01"
+_B_PICKLE = b"\x00"
+
+
+def encode_state_value(value) -> bytes:
+    """Encode one checkpoint state value to a self-describing buffer.
+
+    Prefers the packed wire codec (compact, field names interned);
+    values the codec cannot express -- arbitrary app objects -- fall
+    back to pickle.  The one-byte prefix records which path was taken
+    so :func:`decode_state_value` needs no out-of-band flag.
+    """
+    try:
+        return _B_PACKED + encode_value(value, codec="packed")
+    except (SerializationError, ValueError, TypeError):
+        return _B_PICKLE + pickle.dumps(value)
+
+
+def decode_state_value(buf: bytes):
+    """Inverse of :func:`encode_state_value`."""
+    if not buf:
+        raise SerializationError("empty state-value buffer")
+    if buf[:1] == _B_PACKED:
+        return decode_value(buf[1:])
+    return pickle.loads(buf[1:])

@@ -277,6 +277,8 @@ class ReplicaSet:
         self.replicas: List[ControllerReplica] = [primary]
         enabled = primary.telemetry.enabled
         flight_capacity = getattr(primary.telemetry.recorder, "capacity", 128)
+        metrics_max_samples = getattr(primary.telemetry.metrics,
+                                      "max_samples", None)
         discovery_interval = getattr(
             primary_controller.discovery, "interval", 0.5)
         for i in range(1, backups + 1):
@@ -284,7 +286,8 @@ class ReplicaSet:
             telemetry = Telemetry(enabled=enabled,
                                   flight_capacity=flight_capacity,
                                   replica_id=replica_id,
-                                  shard_id=shard_id)
+                                  shard_id=shard_id,
+                                  metrics_max_samples=metrics_max_samples)
             controller = Controller(
                 self.sim,
                 control_delay=primary_controller.control_delay,

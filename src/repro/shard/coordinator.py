@@ -105,6 +105,7 @@ class ShardCoordinator:
                  seed: int = 0,
                  runtime_kwargs: Optional[dict] = None,
                  replica_kwargs: Optional[dict] = None,
+                 telemetry_kwargs: Optional[dict] = None,
                  health_window: float = 1.0):
         self.net = net
         self.sim = net.sim
@@ -123,7 +124,8 @@ class ShardCoordinator:
         for shard_id in sorted(assignment):
             dpids = assignment[shard_id]
             telemetry = Telemetry(enabled=telemetry_enabled,
-                                  replica_id="r0", shard_id=shard_id)
+                                  replica_id="r0", shard_id=shard_id,
+                                  **dict(telemetry_kwargs or {}))
             controller = Controller(
                 self.sim,
                 control_delay=net.controller.control_delay,

@@ -57,9 +57,12 @@ class Telemetry:
                  clock: Optional[Callable[[], float]] = None,
                  flight_capacity: int = 128, max_spans: int = 20_000,
                  replica_id: Optional[str] = None,
-                 shard_id: Optional[int] = None):
+                 shard_id: Optional[int] = None,
+                 metrics_max_samples: Optional[int] = None):
         self.enabled = enabled
-        self.metrics = MetricsCollector()
+        #: ``metrics_max_samples`` bounds each latency recorder to a
+        #: sliding window (sustained-load runs need O(1) memory).
+        self.metrics = MetricsCollector(max_samples=metrics_max_samples)
         self.recorder = FlightRecorder(capacity=flight_capacity)
         self.replica_id = replica_id
         self.shard_id = shard_id

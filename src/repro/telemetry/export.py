@@ -50,6 +50,21 @@ def _label_set(base_labels, extra=None) -> str:
     return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
 
 
+def bytes_per_event(metrics) -> Optional[float]:
+    """Wire payload bytes per completed app event, or None.
+
+    Derived from the ``channel.bytes_sent`` counter (every payload a
+    proxy, stub, or replication endpoint handed to its channel) over
+    the ``span.appvisor.event`` recorder's count -- the serialization
+    efficiency number the E19 codec A/B reports.
+    """
+    sent = metrics.counters.get("channel.bytes_sent", 0)
+    recorder = metrics.recorders.get("span.appvisor.event")
+    if recorder is None or recorder.count == 0:
+        return None
+    return sent / recorder.count
+
+
 def prometheus_text(metrics, prefix: str = "repro",
                     buckets: Sequence[float] = DEFAULT_BUCKETS,
                     labels: Optional[dict] = None) -> str:
@@ -91,6 +106,12 @@ def prometheus_text(metrics, prefix: str = "repro",
                      f"{_format_value(recorder.sum)}")
         lines.append(f"{hist}_count{_label_set(base_labels)} "
                      f"{recorder.count}")
+    derived = bytes_per_event(metrics)
+    if derived is not None:
+        metric = f"{prefix}_channel_bytes_per_event"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{_label_set(base_labels)} "
+                     f"{_format_value(derived)}")
     return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,149 @@
+"""The checkpoint value codec and the double-serialization regression.
+
+Taking a checkpoint used to serialise every state value twice -- once
+for the dedup hash, once for the stored image.  The store now encodes
+each key exactly once per take and reuses those buffers for hashing,
+diffing, *and* the stored blob; ``value_encodes``/``value_decodes``
+count codec invocations so the property is pinned, not assumed.
+
+Also covers the ``codec="schema"`` mode: restore-equivalence with the
+pickle store, the packed-with-pickle-fallback state-value codec, and
+the cheaper delta cost model it unlocks.
+"""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.core.crashpad.checkpoint import (
+    DEDUP,
+    DELTA,
+    FULL,
+    CheckpointStore,
+)
+from repro.openflow.serialization import (
+    decode_state_value,
+    encode_state_value,
+)
+
+
+class DictApp:
+    name = "dictapp"
+
+    def __init__(self):
+        self.state = {"macs": {}, "count": 0}
+
+    def get_state(self):
+        return {k: v for k, v in self.state.items()}
+
+    def set_state(self, state):
+        self.state = dict(state)
+
+
+@pytest.mark.parametrize("codec", ["pickle", "schema"])
+def test_take_encodes_each_key_exactly_once(codec):
+    """N takes of a K-key state = N*K encodes, zero decodes -- the
+    double-serialization regression pin."""
+    app = DictApp()
+    store = CheckpointStore(codec=codec)
+    keys = len(app.get_state())
+    takes = 6
+    for seq in range(1, takes + 1):
+        app.state["count"] = seq          # differs -> never dedup'd
+        store.take(app, before_seq=seq, now=float(seq))
+    assert store.value_encodes == takes * keys
+    assert store.value_decodes == 0
+
+
+@pytest.mark.parametrize("codec", ["pickle", "schema"])
+def test_dedup_take_still_encodes_once(codec):
+    """A dedup'd take must hash (hence encode) but store nothing --
+    and still never encode a key twice."""
+    app = DictApp()
+    store = CheckpointStore(codec=codec)
+    keys = len(app.get_state())
+    store.take(app, before_seq=1, now=1.0)
+    second = store.take(app, before_seq=2, now=2.0)  # unchanged state
+    assert second.kind == DEDUP
+    assert store.value_encodes == 2 * keys
+    assert store.value_decodes == 0
+
+
+@pytest.mark.parametrize("codec", ["pickle", "schema"])
+def test_restore_equivalence_across_codecs(codec):
+    """materialize() yields the same monolithic pickle contract and
+    restore() reinstates the same state, whichever value codec the
+    store uses internally."""
+    app = DictApp()
+    store = CheckpointStore(codec=codec, full_every=3)
+    snapshots = []
+    for seq in range(1, 8):
+        app.state["macs"][f"02:00:00:00:00:{seq:02x}"] = seq
+        app.state["count"] = seq
+        store.take(app, before_seq=seq, now=float(seq))
+        snapshots.append(copy.deepcopy(app.get_state()))
+    for checkpoint, expect in zip(store.history(), snapshots):
+        assert pickle.loads(store.materialize(checkpoint)) == expect
+    # Restore the oldest, then confirm the app actually holds it.
+    store.restore(app, store.history()[0])
+    assert app.get_state() == snapshots[0]
+
+
+def test_schema_delta_cheaper_than_pickle_delta():
+    """The schema codec's cost model drops the per-delta freeze
+    constant -- the source of the appvisor.event speedup the span-diff
+    gate pins -- so a small delta must cost less than pickle's."""
+    costs = {}
+    for codec in ("pickle", "schema"):
+        app = DictApp()
+        store = CheckpointStore(codec=codec)
+        store.take(app, before_seq=1, now=1.0)
+        app.state["count"] = 1
+        delta = store.take(app, before_seq=2, now=2.0)
+        assert delta.kind == DELTA
+        costs[codec] = delta.cost
+    assert costs["schema"] < costs["pickle"]
+
+
+def test_state_value_codec_round_trip_and_fallback():
+    """encode_state_value prefers the packed codec and falls back to
+    pickle for values the wire format cannot express."""
+    packable = {"a": [1, 2.5, "x"], "b": (None, True)}
+    buf = encode_state_value(packable)
+    assert buf[:1] == b"\x01"
+    assert decode_state_value(buf) == packable
+
+    unpackable = {"cls": DictApp}      # a class object: not wire-safe
+    buf = encode_state_value(unpackable)
+    assert buf[:1] == b"\x00"
+    assert decode_state_value(buf) == unpackable
+
+
+def test_stats_reports_codec_and_counts():
+    app = DictApp()
+    store = CheckpointStore(codec="schema")
+    store.take(app, before_seq=1, now=1.0)
+    stats = store.stats()
+    assert stats["codec"] == "schema"
+    assert stats["value_encodes"] == len(app.get_state())
+    assert stats["value_decodes"] == 0
+    assert stats["taken"] == 1
+
+
+def test_full_promotion_on_eviction_reuses_buffers():
+    """Evicting a chain base folds deltas at the buffer level: no
+    value decode, and one re-encode only for keys the promotion has to
+    rewrite -- here, none."""
+    app = DictApp()
+    store = CheckpointStore(codec="schema", keep=2, full_every=10)
+    for seq in range(1, 6):
+        app.state["count"] = seq
+        store.take(app, before_seq=seq, now=float(seq))
+    encodes_after_takes = 5 * len(app.get_state())
+    assert store.value_encodes == encodes_after_takes
+    assert store.value_decodes == 0
+    # The surviving head must still materialise correctly.
+    head = store.history()[0]
+    assert head.kind == FULL
+    assert pickle.loads(store.materialize(head))["count"] in range(1, 6)
