@@ -55,9 +55,15 @@ LEGACY_CONFIG = {
     "checkpoint_dedup": False,
     "channel_batch": False,
     "checkpoint_codec": "pickle",
+    "checkpoint_dirty_tracking": False,
+    "checkpoint_deferred": False,
     "wire_codec": "named",
 }
 CURRENT_CONFIG: dict = {}
+#: The interval configuration the acceptance gate measures: fuzzy
+#: checkpoints every 8 events with tail replay, on top of the shipped
+#: dirty-tracking + deferred-encoding defaults.
+INTERVAL8_CONFIG: dict = {"checkpoint_interval": 8}
 
 
 def capture_config(runtime_kwargs: dict, seed: int = 0,
@@ -116,16 +122,22 @@ def _capture_config(runtime_kwargs: dict, seed: int = 0,
 def cmd_capture(args) -> int:
     legacy = capture_config(dict(LEGACY_CONFIG), seed=args.seed)
     current = capture_config(dict(CURRENT_CONFIG), seed=args.seed)
+    interval8 = capture_config(dict(INTERVAL8_CONFIG), seed=args.seed)
     diff = diff_summaries(legacy, current)
     print(f"span-diff capture: {PROBES} probes, linear(2,1), "
           "legacy vs current hot path\n")
     print(render_diff(diff, base_label="legacy", cand_label="current"))
+    print()
+    print(render_diff(diff_summaries(current, interval8),
+                      base_label="current", cand_label="interval8"))
     document = {
         "harness": "benchmarks/span_diff.py",
         "workload": {"topology": "linear(2,1)", "probes": PROBES,
                      "apps": ["hub", "monitor"], "seed": args.seed},
-        "configs": {"legacy": LEGACY_CONFIG, "current": CURRENT_CONFIG},
-        "summaries": {"legacy": legacy, "current": current},
+        "configs": {"legacy": LEGACY_CONFIG, "current": CURRENT_CONFIG,
+                    "interval8": INTERVAL8_CONFIG},
+        "summaries": {"legacy": legacy, "current": current,
+                      "interval8": interval8},
         "diff": diff,
     }
     if args.out:

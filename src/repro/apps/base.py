@@ -11,6 +11,16 @@ The checkpoint contract: :meth:`get_state` returns everything mutable
 as a picklable dict and :meth:`set_state` restores it.  The default
 implementation snapshots ``__dict__`` (minus the API handle), which is
 the Python analogue of CRIU checkpointing a whole process image.
+
+Apps may additionally opt into **dirty-key tracking**
+(:meth:`enable_dirty_tracking` + :meth:`mark_dirty`): a per-state-key
+version counter the checkpoint store consults to skip re-encoding keys
+whose version has not moved since the previous snapshot -- the CRIU
+``--track-mem`` soft-dirty analogue, in app space.  The contract is
+strict: once tracking is on, *every* mutation of a state value must be
+announced with ``mark_dirty(key)`` (key creation included; deletions
+are detected by key absence).  Apps that do not opt in keep the
+conservative fallback: every key is treated as dirty on every take.
 """
 
 from __future__ import annotations
@@ -36,13 +46,18 @@ class SDNApp:
     subscriptions = ()
 
     #: Attributes excluded from checkpoints (runtime wiring, not state).
-    _NON_STATE = frozenset({"api"})
+    #: ``_state_versions`` is bookkeeping *about* the state, not state:
+    #: it survives restores untouched, exactly like the API handle.
+    _NON_STATE = frozenset({"api", "_state_versions"})
 
     def __init__(self, name: Optional[str] = None):
         if name is not None:
             self.name = name
         self.api = None
         self.events_handled = 0
+        #: key -> version counter; ``None`` means tracking is off and
+        #: the checkpoint store must assume every key dirty.
+        self._state_versions = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -65,10 +80,45 @@ class SDNApp:
         point of the paper.
         """
         self.events_handled += 1
+        if self._state_versions is not None:
+            self.mark_dirty("events_handled")
         handler = getattr(self, "on_" + _snake(event.type_name), None)
         if handler is None:
             return None
         return handler(event)
+
+    # -- dirty-key tracking ----------------------------------------------------
+
+    def enable_dirty_tracking(self) -> None:
+        """Opt into versioned state: from here on, every state mutation
+        must be announced via :meth:`mark_dirty`."""
+        if self._state_versions is None:
+            self._state_versions = {}
+
+    @property
+    def dirty_tracking(self) -> bool:
+        return self._state_versions is not None
+
+    def mark_dirty(self, key) -> None:
+        """Bump ``key``'s version: its value changed (or was created).
+
+        No-op while tracking is off, so shared helpers can mark
+        unconditionally.  ``key`` must be the *state-dict* key the
+        mutation lands under (e.g. ``("macs", dpid)`` for a
+        :class:`LearningSwitch` table entry, not ``"mac_tables"``).
+        """
+        versions = self._state_versions
+        if versions is not None:
+            versions[key] = versions.get(key, 0) + 1
+
+    def state_versions(self) -> Optional[dict]:
+        """The live per-key version map (``None`` = no tracking).
+
+        The checkpoint store snapshots this at take time; a key whose
+        version matches the previous snapshot is guaranteed unchanged
+        and is never re-encoded.
+        """
+        return self._state_versions
 
     # -- checkpoint contract ---------------------------------------------------
 
@@ -81,11 +131,19 @@ class SDNApp:
         }
 
     def set_state(self, state: dict) -> None:
-        """Restore a snapshot produced by :meth:`get_state`."""
+        """Restore a snapshot produced by :meth:`get_state`.
+
+        The version map is *kept*, not rolled back: the store re-pairs
+        the restored buffers with the live versions immediately after
+        this call, so any version bumped by the half-run handler that
+        crashed is absorbed into the new baseline.
+        """
         api = self.api
+        versions = self._state_versions
         self.__dict__.clear()
         self.__dict__.update(state)
         self.api = api
+        self._state_versions = versions
 
     @staticmethod
     def packet_out_for(event, actions) -> "PacketOut":

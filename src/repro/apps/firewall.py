@@ -47,6 +47,7 @@ class Firewall(SDNApp):
         self.deny_rules = tuple(deny_rules)
         self.rules_installed = 0
         self.protected_switches: List[int] = []
+        self.enable_dirty_tracking()
 
     def on_switch_join(self, event):
         for rule in self.deny_rules:
@@ -56,12 +57,15 @@ class Firewall(SDNApp):
                         priority=self.PRIORITY, actions=(Drop(),)),
             )
             self.rules_installed += 1
+            self.mark_dirty("rules_installed")
         if event.dpid not in self.protected_switches:
             self.protected_switches.append(event.dpid)
+            self.mark_dirty("protected_switches")
 
     def add_rule(self, rule: DenyRule) -> None:
         """Add a deny rule at runtime and push it to protected switches."""
         self.deny_rules = self.deny_rules + (rule,)
+        self.mark_dirty("deny_rules")
         for dpid in self.protected_switches:
             self.api.emit(
                 dpid,
@@ -69,3 +73,4 @@ class Firewall(SDNApp):
                         priority=self.PRIORITY, actions=(Drop(),)),
             )
             self.rules_installed += 1
+            self.mark_dirty("rules_installed")

@@ -26,6 +26,7 @@ class Flooder(SDNApp):
     def __init__(self, name=None):
         super().__init__(name)
         self.rules_installed = 0
+        self.enable_dirty_tracking()
 
     def on_switch_join(self, event):
         self.api.emit(
@@ -38,3 +39,4 @@ class Flooder(SDNApp):
             ),
         )
         self.rules_installed += 1
+        self.mark_dirty("rules_installed")

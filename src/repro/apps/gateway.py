@@ -57,6 +57,7 @@ class VirtualIPGateway(SDNApp):
         self.flow_assignments: Dict[Tuple[str, int], str] = {}
         self.flows_admitted = 0
         self.admission_failures = 0
+        self.enable_dirty_tracking()
 
     # -- service ownership -------------------------------------------------
 
@@ -87,11 +88,14 @@ class VirtualIPGateway(SDNApp):
         backend = self._assign_backend(packet)
         if backend is None:
             self.admission_failures += 1
+            self.mark_dirty("admission_failures")
             return
         if not self._install_nat_rules(event, backend):
             self.admission_failures += 1
+            self.mark_dirty("admission_failures")
             return
         self.flows_admitted += 1
+        self.mark_dirty("flows_admitted")
         # Forward the triggering packet itself, rewritten.  Inline (not
         # via buffer_id): a co-resident switching app may flood the
         # same PacketIn and consume the shared buffer first.
@@ -114,7 +118,9 @@ class VirtualIPGateway(SDNApp):
             return None
         mac = live[self._next_backend % len(live)]
         self._next_backend += 1
+        self.mark_dirty("_next_backend")
         self.flow_assignments[key] = mac
+        self.mark_dirty("flow_assignments")
         return self.api.host_location(mac)
 
     def _forward_actions(self, at_dpid: int, backend):

@@ -23,7 +23,9 @@ class Hub(SDNApp):
     def __init__(self, name=None):
         super().__init__(name)
         self.packets_flooded = 0
+        self.enable_dirty_tracking()
 
     def on_packet_in(self, event):
         self.packets_flooded += 1
+        self.mark_dirty("packets_flooded")
         self.api.emit(event.dpid, self.packet_out_for(event, (Flood(),)))

@@ -32,10 +32,13 @@ class LearningSwitch(SDNApp):
         self.mac_tables: Dict[int, Dict[str, int]] = {}
         self.flows_installed = 0
         self.floods = 0
+        self.enable_dirty_tracking()
 
     def on_packet_in(self, event):
         packet = event.packet
         table = self.mac_tables.setdefault(event.dpid, {})
+        if table.get(packet.eth_src) != event.in_port:
+            self.mark_dirty(("macs", event.dpid))
         table[packet.eth_src] = event.in_port
         out_port = table.get(packet.eth_dst)
         if out_port == event.in_port:
@@ -44,14 +47,17 @@ class LearningSwitch(SDNApp):
             # taught us nonsense).  Drop it and fall back to flooding,
             # which relearns the truth.
             table.pop(packet.eth_dst, None)
+            self.mark_dirty(("macs", event.dpid))
             out_port = None
         if out_port is None or packet.is_broadcast():
             self.floods += 1
+            self.mark_dirty("floods")
             self.api.emit(event.dpid,
                           self.packet_out_for(event, (Flood(),)))
             return
         # Known destination: install a flow and forward this packet.
         self.flows_installed += 1
+        self.mark_dirty("flows_installed")
         self.api.emit(
             event.dpid,
             FlowMod(
@@ -95,6 +101,7 @@ class LearningSwitch(SDNApp):
 
     def set_state(self, state: dict) -> None:
         api = self.api
+        versions = self._state_versions
         self.__dict__.clear()
         self.mac_tables = {}
         for key, value in state.items():
@@ -103,3 +110,4 @@ class LearningSwitch(SDNApp):
             else:
                 self.__dict__[key] = value
         self.api = api
+        self._state_versions = versions

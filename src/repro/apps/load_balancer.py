@@ -36,6 +36,7 @@ class LoadBalancer(SDNApp):
         # port -> number of flows assigned
         self.assignments: Dict[int, int] = {p: 0 for p in self.uplinks}
         self.flows_balanced = 0
+        self.enable_dirty_tracking()
 
     # -- balancing ------------------------------------------------------
 
@@ -74,7 +75,9 @@ class LoadBalancer(SDNApp):
                           self.packet_out_for(event, (Flood(),)))
             return
         self.flows_balanced += 1
+        self.mark_dirty("flows_balanced")
         self.assignments[port] = self.assignments.get(port, 0) + 1
+        self.mark_dirty("assignments")
         match = Match.from_packet(packet, in_port=event.in_port)
         self.api.emit(
             event.dpid,
@@ -91,9 +94,12 @@ class LoadBalancer(SDNApp):
         if event.dpid != self.dpid or event.port not in self.uplinks:
             return
         if event.link_up:
-            self.down_ports.discard(event.port)
+            if event.port in self.down_ports:
+                self.down_ports.discard(event.port)
+                self.mark_dirty("down_ports")
         else:
             self.down_ports.add(event.port)
+            self.mark_dirty("down_ports")
             # Remove flows pinned to the dead uplink so they re-balance.
             self.api.emit(
                 event.dpid,

@@ -26,17 +26,21 @@ class FlowMonitor(SDNApp):
         # dpid -> bytes reported by FlowRemoved
         self.bytes_by_switch: Dict[int, int] = {}
         self.flow_removed_seen = 0
+        self.enable_dirty_tracking()
 
     def on_packet_in(self, event):
         packet = event.packet
         key = (packet.eth_src, packet.eth_dst)
         self.pair_packets[key] = self.pair_packets.get(key, 0) + 1
+        self.mark_dirty("pair_packets")
 
     def on_flow_removed(self, event):
         self.flow_removed_seen += 1
+        self.mark_dirty("flow_removed_seen")
         self.bytes_by_switch[event.dpid] = (
             self.bytes_by_switch.get(event.dpid, 0) + event.byte_count
         )
+        self.mark_dirty("bytes_by_switch")
 
     def total_observations(self) -> int:
         return sum(self.pair_packets.values())

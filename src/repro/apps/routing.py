@@ -36,6 +36,7 @@ class ShortestPathRouting(SDNApp):
                                     List[Tuple[int, Match]]] = {}
         self.paths_installed = 0
         self.floods = 0
+        self.enable_dirty_tracking()
 
     # -- packet handling ----------------------------------------------
 
@@ -57,6 +58,7 @@ class ShortestPathRouting(SDNApp):
 
     def _flood(self, event):
         self.floods += 1
+        self.mark_dirty("floods")
         self.api.emit(event.dpid, self.packet_out_for(event, (Flood(),)))
 
     def _install_path(self, src_dpid: int, dst_mac: str, destination) -> bool:
@@ -92,7 +94,9 @@ class ShortestPathRouting(SDNApp):
         )
         rules.append((destination.dpid, match))
         self.installed_routes[(src_dpid, dst_mac)] = rules
+        self.mark_dirty("installed_routes")
         self.paths_installed += 1
+        self.mark_dirty("paths_installed")
         return True
 
     def _forward_packet(self, event, destination) -> None:
@@ -143,3 +147,4 @@ class ShortestPathRouting(SDNApp):
                             priority=self.PRIORITY),
                 )
             del self.installed_routes[key]
+            self.mark_dirty("installed_routes")

@@ -52,8 +52,11 @@ class SpanningTreeSwitch(LearningSwitch):
 
     def _recompute_tree(self, topo) -> None:
         self._tree_version = topo.version
+        self.mark_dirty("_tree_version")
         self._tree_ports = {}
+        self.mark_dirty("_tree_ports")
         self.tree_recomputations += 1
+        self.mark_dirty("tree_recomputations")
         graph = topo.graph()
         if not graph.nodes:
             return
@@ -84,10 +87,13 @@ class SpanningTreeSwitch(LearningSwitch):
     def on_packet_in(self, event):
         packet = event.packet
         table = self.mac_tables.setdefault(event.dpid, {})
+        if table.get(packet.eth_src) != event.in_port:
+            self.mark_dirty(("macs", event.dpid))
         table[packet.eth_src] = event.in_port
         out_port = table.get(packet.eth_dst)
         if out_port == event.in_port:
             table.pop(packet.eth_dst, None)  # stale: relearn via flood
+            self.mark_dirty(("macs", event.dpid))
             out_port = None
         if out_port is not None and not packet.is_broadcast():
             # Unicast install (tracked so a topology change can flush it).
@@ -95,10 +101,12 @@ class SpanningTreeSwitch(LearningSwitch):
             from repro.openflow.messages import FlowMod, FlowModCommand
 
             self.flows_installed += 1
+            self.mark_dirty("flows_installed")
             match = Match(in_port=event.in_port,
                           eth_src=packet.eth_src,
                           eth_dst=packet.eth_dst)
             self._installed_rules.append((event.dpid, match))
+            self.mark_dirty("_installed_rules")
             self.api.emit(event.dpid, FlowMod(
                 match=match, command=FlowModCommand.ADD,
                 priority=self.PRIORITY, actions=(Output(out_port),),
@@ -110,6 +118,7 @@ class SpanningTreeSwitch(LearningSwitch):
         # Constrained flood: tree ports + host-facing ports, never the
         # ingress.  Host ports = everything that is not inter-switch.
         self.floods += 1
+        self.mark_dirty("floods")
         topo = self.api.topology()
         tree_ports = self._tree_for(event.dpid)
         interswitch = self._interswitch_ports(event.dpid, topo)
@@ -184,6 +193,10 @@ class SpanningTreeSwitch(LearningSwitch):
                 priority=self.PRIORITY,
             ))
         self._installed_rules = []
+        self.mark_dirty("_installed_rules")
+        # Cleared tables vanish from the state's key set entirely (the
+        # per-switch ("macs", dpid) keys), which the checkpoint store
+        # detects as removals without any mark.
         self.mac_tables.clear()
 
     def get_state(self) -> dict:

@@ -33,14 +33,33 @@ from repro.bench.hist import StreamingHistogram
 from repro.bench.loadgen import LoadGenerator
 from repro.bench.synth import HostUniverse, TrafficMix
 from repro.network.net import Network
-from repro.network.packet import reset_packet_ids
+from repro.network.packet import reset_packet_ids, tcp_packet
 from repro.network.topology import tree_topology
-from repro.openflow.messages import reset_xid_counter
+from repro.openflow.messages import PacketIn, reset_xid_counter
 from repro.openflow.serialization import wire_codec
 from repro.shard import ShardCoordinator
 
 #: Event-latency span the histogram tracks (one per app event).
 EVENT_SPAN = "appvisor.event"
+
+#: Payload sentinel the crash row's app dies on (the offending event
+#: is excluded from replay by Crash-Pad, so exactly one crash happens).
+CRASH_MARKER = "BENCH-CRASH-MARKER"
+
+
+class _CrashMarkerSwitch(LearningSwitch):
+    """LearningSwitch that crashes on the marker payload.
+
+    The trigger is stateless (a property of the packet, not of
+    accumulated state), so recovery's tail replay cannot re-crash: the
+    offending event is dropped and every other event replays clean.
+    """
+
+    def on_packet_in(self, event):
+        payload = getattr(event.packet, "payload", "") or ""
+        if CRASH_MARKER in payload:
+            raise RuntimeError("bench: injected crash marker")
+        return super().on_packet_in(event)
 
 
 @dataclass(frozen=True)
@@ -64,6 +83,13 @@ class BenchScenario:
     ceiling_mb: float = 1024.0   # peak-RSS ceiling (abort above)
     chunk_seconds: float = 0.5   # drain/ceiling-check cadence
     tick: float = 0.05           # load generator tick
+    #: Events between checkpoints (interval/fuzzy checkpointing with
+    #: NetLog tail replay on recovery); 1 = the paper's per-event mode.
+    checkpoint_interval: int = 8
+    #: Sim seconds into the measured window at which one crash-marker
+    #: packet is injected (the app hosting it crashes and Crash-Pad
+    #: recovers it mid-run); 0 disables the injection.
+    crash_at: float = 0.0
     seed: int = 0
 
 
@@ -71,6 +97,10 @@ PRESETS: Dict[str, BenchScenario] = {
     "smoke": BenchScenario(
         name="smoke", hosts=2_000, rate=40.0, sim_seconds=8.0,
         warmup_seconds=2.0, shards=1, ceiling_mb=1024.0),
+    "smoke-crash": BenchScenario(
+        name="smoke-crash", hosts=2_000, rate=40.0, sim_seconds=8.0,
+        warmup_seconds=2.0, shards=1, ceiling_mb=1024.0,
+        checkpoint_interval=8, crash_at=3.0),
     "e19-100k": BenchScenario(
         name="e19-100k", hosts=100_000, rate=120.0, sim_seconds=60.0,
         warmup_seconds=5.0, shards=1, tree_fanout=7, churn_per_sec=5.0,
@@ -167,9 +197,12 @@ def _bytes_counters(telemetries) -> Tuple[int, int]:
 
 def _checkpoint_stats(coordinator) -> Dict[str, object]:
     keys = ("taken", "full", "delta", "dedup_hits", "bytes_written",
-            "value_encodes", "value_decodes")
+            "value_encodes", "value_decodes", "encodes_skipped",
+            "pending", "pending_dropped", "deferred_takes",
+            "deferred_drains", "checkpoint_lag")
     agg: Dict[str, object] = {k: 0 for k in keys}
     total_cost = 0.0
+    deferred_cost = 0.0
     for handle in coordinator.shards.values():
         runtime = handle.runtime
         if runtime is None:
@@ -179,9 +212,22 @@ def _checkpoint_stats(coordinator) -> Dict[str, object]:
             for k in keys:
                 agg[k] += stats.get(k, 0)
             total_cost += stats.get("total_cost", 0.0)
+            deferred_cost += stats.get("deferred_cost", 0.0)
             agg["codec"] = stats.get("codec")
     agg["total_cost"] = round(total_cost, 9)
+    agg["deferred_cost"] = round(deferred_cost, 9)
     return agg
+
+
+def _crash_totals(coordinator) -> Tuple[int, int]:
+    crashes = recoveries = 0
+    for handle in coordinator.shards.values():
+        runtime = handle.runtime
+        if runtime is None:
+            continue
+        crashes += runtime.total_crashes()
+        recoveries += runtime.total_recoveries()
+    return crashes, recoveries
 
 
 def run_scenario(scenario: BenchScenario, codec: str = "packed",
@@ -199,7 +245,7 @@ def run_scenario(scenario: BenchScenario, codec: str = "packed",
     reset_xid_counter()
     reset_packet_ids()
 
-    runtime_kwargs = {}
+    runtime_kwargs = {"checkpoint_interval": scenario.checkpoint_interval}
     if codec == "named":
         runtime_kwargs["checkpoint_codec"] = "pickle"
 
@@ -209,7 +255,8 @@ def run_scenario(scenario: BenchScenario, codec: str = "packed",
         net = Network(topo, seed=scenario.seed)
         coordinator = ShardCoordinator(
             net, shards=scenario.shards,
-            apps=(LearningSwitch,),
+            apps=(_CrashMarkerSwitch if scenario.crash_at > 0
+                  else LearningSwitch,),
             backups=scenario.backups,
             service_time=scenario.service_time,
             telemetry_enabled=True,
@@ -265,10 +312,27 @@ def run_scenario(scenario: BenchScenario, codec: str = "packed",
         warm_ingested = coordinator.total_events_ingested()
         warm_sent, warm_recv = _bytes_counters(telemetries)
 
+        def inject_crash_marker() -> None:
+            """One poisoned PacketIn through the normal punt path: the
+            hosting app crashes and Crash-Pad recovers it mid-run."""
+            src, dst = mix.sample()
+            controller = coordinator.owner_controller(src.dpid)
+            if controller is None:
+                return
+            packet = tcp_packet(src.mac, dst.mac, src.ip, dst.ip,
+                                src_port=10000 + src.idx % 5000,
+                                dst_port=80, size=64,
+                                payload=CRASH_MARKER)
+            controller.handle_switch_message(
+                src.dpid,
+                PacketIn(dpid=src.dpid, in_port=src.port, packet=packet))
+
         measured = 0.0
         if aborted is None:
             emit(f"  warmup done ({scenario.warmup_seconds:.0f}s sim); "
                  f"measuring {scenario.sim_seconds:.0f}s sim")
+            if scenario.crash_at > 0:
+                net.sim.schedule(scenario.crash_at, inject_crash_marker)
             measured = run_chunks(scenario.sim_seconds, hist)
         generator.stop()
         _drain_spans(telemetries, hist if measured > 0 else None)
@@ -302,6 +366,9 @@ def run_scenario(scenario: BenchScenario, codec: str = "packed",
             "spans_dropped": spans_dropped,
             "checkpoint": _checkpoint_stats(coordinator),
         }
+        crashes, recoveries = _crash_totals(coordinator)
+        results["crashes"] = crashes
+        results["recoveries"] = recoveries
 
     report = BenchReport(
         scenario=dataclasses.asdict(scenario),

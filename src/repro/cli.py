@@ -654,7 +654,8 @@ def cmd_bench(args) -> int:
     scenario = PRESETS[args.preset]
     overrides = {}
     for name in ("hosts", "rate", "sim_seconds", "warmup_seconds",
-                 "shards", "churn_per_sec", "ceiling_mb", "seed"):
+                 "shards", "churn_per_sec", "ceiling_mb",
+                 "checkpoint_interval", "crash_at", "seed"):
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value
@@ -663,6 +664,7 @@ def cmd_bench(args) -> int:
     print(f"bench {scenario.name}: {scenario.hosts:,} hosts, "
           f"rate {scenario.rate:g}/s, {scenario.sim_seconds:g}s sim, "
           f"K={scenario.shards}, codec={args.codec}, "
+          f"interval={scenario.checkpoint_interval}, "
           f"ceiling {scenario.ceiling_mb:g} MB")
     report = run_scenario(scenario, codec=args.codec, log=print)
     results = report.results
@@ -676,6 +678,15 @@ def cmd_bench(args) -> int:
     bpe = results.get("bytes_per_event")
     print(f"  wire: {results['bytes_sent']:,} B sent"
           + (f", {bpe:.1f} B/event" if bpe else ""))
+    ckpt = results.get("checkpoint") or {}
+    if ckpt:
+        print(f"  checkpoint: {ckpt.get('taken', 0):,} taken, "
+              f"{ckpt.get('bytes_written', 0):,} B written, "
+              f"{ckpt.get('encodes_skipped', 0):,} encodes skipped, "
+              f"lag {ckpt.get('checkpoint_lag', 0)}")
+    if scenario.crash_at > 0 or results.get("crashes"):
+        print(f"  crashes: {results.get('crashes', 0)}, "
+              f"recoveries: {results.get('recoveries', 0)}")
     print(f"  wall {report.environment['wall_seconds']:.1f}s, "
           f"peak RSS {report.environment['peak_rss_mb']:.0f} MB")
     if report.aborted:
@@ -922,6 +933,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--ceiling-mb", type=float, default=None,
                          dest="ceiling_mb",
                          help="peak-RSS abort ceiling in MB")
+    p_bench.add_argument("--checkpoint-interval", type=_positive_int,
+                         default=None, dest="checkpoint_interval",
+                         help="events between checkpoints (recovery "
+                              "replays the NetLog tail); 1 = per-event")
+    p_bench.add_argument("--crash-at", type=float, default=None,
+                         dest="crash_at",
+                         help="inject one app-crashing packet this many "
+                              "sim seconds into the measured window "
+                              "(0 = no crash)")
     p_bench.add_argument("--seed", type=int, default=None)
     p_bench.add_argument("--out", default=None,
                          help="write the full report JSON here")

@@ -28,6 +28,7 @@ from repro.core.appvisor.isolation import (
     SandboxProcess,
 )
 from repro.core.crashpad.checkpoint import CheckpointStore
+from repro.core.crashpad.interval import CheckpointPolicy
 from repro.core.crashpad.replay import EventJournal
 
 
@@ -81,19 +82,29 @@ class AppVisorStub:
                  limits: Optional[ResourceLimits] = None,
                  journal_size: int = 256,
                  replica_factory=None,
-                 telemetry=None):
+                 telemetry=None,
+                 checkpoint_policy: Optional[CheckpointPolicy] = None):
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
         self.sim = sim
         self.app = app
         #: Optional Telemetry; when enabled the stub records one
-        #: ``appvisor.checkpoint`` span per checkpoint freeze, the
-        #: span-diff harness's checkpoint segment.
+        #: ``appvisor.checkpoint`` span per checkpoint freeze (the
+        #: span-diff harness's checkpoint segment) and one
+        #: ``crashpad.encode`` span per background drain of deferred
+        #: checkpoint encodes.
         self.telemetry = telemetry
         self.api = StubAPI(self)
         self.sandbox = SandboxProcess(app, limits)
         self.checkpoints = checkpoint_store or CheckpointStore()
-        self.checkpoint_interval = checkpoint_interval
+        #: When (not whether) checkpoints happen; stateful per stub.
+        self.policy = checkpoint_policy or CheckpointPolicy(
+            interval=checkpoint_interval)
+        #: Deferred encodes need exact image sizes synchronously when a
+        #: state-size resource cap must be enforced per event.
+        self._defer_override = (
+            False if (self.sandbox.limits.max_state_bytes is not None)
+            else None)
         self.heartbeat_interval = heartbeat_interval
         self.journal = EventJournal(max_entries=journal_size)
         self.endpoint = None
@@ -120,10 +131,23 @@ class AppVisorStub:
         self._current_trace = 0
         self._stop_heartbeat = None
         self._last_delivered: Optional[tuple] = None  # (seq, event)
+        #: Background-drain spans emitted (observability).
+        self.drains_done = 0
         #: Seqs delivered but not yet processed (the checkpoint-cost
         #: window).  Checkpoints are only taken at quiescence so their
         #: before_seq labelling stays exact under concurrency lanes.
         self._pending_process: set = set()
+
+    @property
+    def checkpoint_interval(self) -> int:
+        """The policy's base interval (compat accessor)."""
+        return self.policy.interval
+
+    @checkpoint_interval.setter
+    def checkpoint_interval(self, value: int) -> None:
+        if value < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        self.policy.interval = value
 
     # -- wiring ----------------------------------------------------------
 
@@ -153,6 +177,10 @@ class AppVisorStub:
         """
         self.endpoint = endpoint
         endpoint.on_frame(self._on_frame)
+        # Promotion is a durability point: whatever follower state the
+        # new primary builds from this stub must reflect a real image,
+        # so deferred encodes are force-flushed before re-registering.
+        self.checkpoints.flush()
         # Resume past every seq this stub has ever seen, including
         # events still waiting out a checkpoint freeze.
         resume = max(self.current_seq, self.last_seq_done,
@@ -168,18 +196,67 @@ class AppVisorStub:
         if self._stop_heartbeat is not None:
             self._stop_heartbeat()
             self._stop_heartbeat = None
+        if self.sandbox.alive:
+            self.checkpoints.flush()
         self.sandbox.stop()
 
     def _heartbeat(self) -> None:
-        """Periodic liveness beacon -- stops the moment the process dies."""
+        """Periodic liveness beacon -- stops the moment the process dies.
+
+        Also the idle slot where deferred checkpoint encodes drain: a
+        dead process cannot drain (its captures died with it), which is
+        exactly the alive-check ordering below.
+        """
         if not self.sandbox.alive or self.endpoint is None:
             return
+        self._drain_checkpoints()
         self.heartbeats_sent += 1
         self.endpoint.send(rpc.Heartbeat(
             app_name=self.app.name,
             stub_time=self.sim.now,
             last_seq_done=self.last_seq_done,
         ))
+
+    def _drain_checkpoints(self) -> None:
+        """Finalise deferred checkpoint encodes off the event path.
+
+        The modelled encode cost lands in a ``crashpad.encode`` span --
+        visible in ``repro trace critical-path`` as moved-off-path work,
+        not vanished work -- instead of inside ``appvisor.event``.
+        """
+        if self.checkpoints.pending_count == 0:
+            self._update_lag_gauge()
+            return
+        entries, cost = self.checkpoints.drain()
+        self.drains_done += 1
+        self._record_encode_span(len(entries), cost)
+        self._update_lag_gauge()
+
+    def _record_encode_span(self, entries: int, cost: float) -> None:
+        """Emit the background-encode work as a ``crashpad.encode``
+        span (scheduled ``cost`` ahead: record_span stamps end=now at
+        call time, so the span gets its modelled duration)."""
+        if (entries <= 0 or self.telemetry is None
+                or not self.telemetry.enabled):
+            return
+        start = self.sim.now
+        tracer = self.telemetry.tracer
+        self.sim.schedule(
+            cost,
+            lambda: tracer.record_span(
+                "crashpad.encode", start,
+                app=self.app.name, entries=entries),
+        )
+
+    def _update_lag_gauge(self) -> None:
+        """Export this app's checkpoint lag (events a crash right now
+        would replay) as a gauge."""
+        if self.telemetry is None or not self.telemetry.enabled:
+            return
+        self.telemetry.metrics.set_gauge(
+            f"checkpoint.lag.{self.app.name}",
+            self.checkpoints.checkpoint_lag(),
+        )
 
     # -- frame handling ------------------------------------------------------
 
@@ -200,13 +277,29 @@ class AppVisorStub:
         if not self.sandbox.alive:
             return  # silence; the proxy's detector will notice
         seq = frame.seq
+        self.checkpoints.note_seq(seq)
         checkpoint_cost = 0.0
         checkpoint_kind = None
         if self._checkpoint_due(seq) and not self._pending_process:
+            defer = self._defer_override
+            if defer is not False and (
+                    # The tail bound promises bounded replay, which only
+                    # a *durable* image delivers: take synchronously
+                    # (flushing any pending encodes along the way).
+                    self.checkpoints.checkpoint_lag() >= self.policy.max_tail
+                    # Under elevated crash risk the adaptive policy
+                    # wants images that survive the crash it predicts.
+                    or (self.policy.adaptive
+                        and self.policy.elevated_risk(self.sim.now))):
+                defer = False
+            drained_before = self.checkpoints.deferred_drains
+            cost_before = self.checkpoints.deferred_cost
             try:
-                checkpoint = self.checkpoints.take(self.app, seq, self.sim.now)
+                checkpoint = self.checkpoints.take(
+                    self.app, seq, self.sim.now, defer=defer)
                 self.sandbox.check_state_size(checkpoint.state_size)
             except ResourceLimitExceeded as exc:
+                self.policy.note_crash(self.sim.now)
                 self.endpoint.send(rpc.CrashReport(
                     app_name=self.app.name, seq=seq, error=str(exc),
                     trace_id=frame.trace_id,
@@ -214,6 +307,13 @@ class AppVisorStub:
                 return
             checkpoint_cost = self.checkpoints.cost_of(checkpoint)
             checkpoint_kind = checkpoint.kind
+            # A sync take or eviction may have flushed pending encodes
+            # inside take(); that work is background-priced (it never
+            # delays this event) but must still show up in the trace
+            # as a crashpad.encode span, not vanish.
+            self._record_encode_span(
+                self.checkpoints.deferred_drains - drained_before,
+                self.checkpoints.deferred_cost - cost_before)
             # Keep journal entries back to the OLDEST retained
             # checkpoint: deep (STS-guided) recovery may roll that far.
             oldest = self.checkpoints.oldest()
@@ -230,7 +330,10 @@ class AppVisorStub:
         latest = self.checkpoints.latest()
         if latest is None:
             return True
-        return seq - latest.before_seq >= self.checkpoint_interval
+        return self.policy.due(
+            seq - latest.before_seq, self.sim.now,
+            tail_length=self.checkpoints.checkpoint_lag(),
+        )
 
     def _process(self, seq: int, event, freeze_start: Optional[float] = None,
                  checkpoint_kind: Optional[str] = None,
@@ -266,6 +369,7 @@ class AppVisorStub:
                 trace_id=trace_id,
             ))
         elif outcome.status == "crashed":
+            self.policy.note_crash(self.sim.now)
             self.endpoint.send(rpc.CrashReport(
                 app_name=self.app.name,
                 seq=seq,
@@ -299,6 +403,10 @@ class AppVisorStub:
 
     def _on_restore(self, frame: rpc.RestoreCommand) -> None:
         offending = frame.offending_seq
+        # Deferred captures that never drained died with the crashed
+        # process: recovery starts from the newest *durable* image and
+        # replays the correspondingly longer journal tail.
+        self.checkpoints.drop_pending()
         checkpoint = self.checkpoints.latest_before(offending)
         if checkpoint is None:
             self.endpoint.send(rpc.RestoreAck(
@@ -420,6 +528,7 @@ class AppVisorStub:
         checkpoint that replays clean without them.
         """
         offending = frame.offending_seq
+        self.checkpoints.drop_pending()
         self.journal.remove(offending)
         for seq in frame.drop_seqs:
             self.journal.remove(seq)

@@ -28,6 +28,36 @@ events" -- we go further and make each checkpoint itself cheap):
 - eviction past ``keep`` promotes the new oldest entry to a full image
   first, so truncating a chain never strands its deltas.
 
+Two further layers move the take itself off the event critical path:
+
+**Dirty-key tracking** (``use_versions``, on by default): apps that
+opt into :meth:`~repro.apps.base.SDNApp.mark_dirty` expose a per-key
+version map; a key whose version has not moved since the previous take
+is *never re-encoded* -- its previous buffer is reused and
+``encodes_skipped`` counts the skip.  The modelled hash/verify cost
+then covers only the re-encoded (dirty) bytes plus a per-key version
+compare, instead of a full-state hash pass: checkpoint cost becomes
+O(dirty state), not O(app state).  A take whose entire version map is
+unchanged short-circuits to a dedup entry without touching a single
+value.  Apps without version tracking keep the conservative
+encode-everything path, bit-for-bit as before.
+
+**Deferred encoding** (``deferred``, off by default at the store,
+enabled by the runtime): with version tracking available, ``take()``
+only *captures* -- clean keys as references to the previous entry's
+buffers, dirty keys as one-level shallow copies -- and appends a
+*pending* entry whose encode happens later in :meth:`drain` (wired
+into the stub's heartbeat tick).  The event path pays only the capture
+cost; the encode/hash/write cost accrues to ``deferred_cost`` and a
+``crashpad.encode`` span instead of the ``appvisor.event`` span.
+Pending entries are not durable: a crash before the drain drops them
+(:meth:`drop_pending`) and recovery falls back to the previous durable
+image plus a longer NetLog tail replay; planned consumers (restore,
+failover promotion, eviction, materialisation) force a :meth:`flush`
+first.  The capture contract matches the bundled apps' state layout:
+values are at most one level of mutable container whose elements are
+immutable or replaced (never mutated) in place.
+
 Every state value is serialised **once** per take: the blake2b dedup
 hash, the delta diff, and the stored blob all read the same per-key
 encoded buffer (a full image stores the buffers themselves, keyed --
@@ -53,7 +83,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.openflow.serialization import (
@@ -78,6 +108,34 @@ STATE = "state"
 KEYMAP = "keymap"
 
 
+class _Same:
+    """Capture marker: this key's value is the previous entry's."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<same>"
+
+
+_SAME = _Same()
+
+
+def _shallow_copy(value):
+    """One-level copy of a captured state value.
+
+    Deep enough for the bundled apps' state contract (one level of
+    mutable container holding immutables / never-mutated values) and
+    cheap enough to sit on the event critical path.
+    """
+    if isinstance(value, dict):
+        return dict(value)
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, set):
+        return set(value)
+    return value
+
+
 @dataclass
 class Checkpoint:
     """One snapshot of an app's state.
@@ -87,6 +145,11 @@ class Checkpoint:
     per-key encoded buffers), the pickled ``(changed, removed)`` diff
     for ``"delta"``, and is empty for ``"dedup"`` entries (the state
     equals the previous entry's).
+
+    A **pending** entry has not been encoded yet: ``capture`` holds the
+    per-key markers (``_SAME`` or a shallow-copied value) and ``blob``
+    is empty until :meth:`CheckpointStore.drain` finalises it.  Pending
+    entries are not durable -- a crash drops them.
     """
 
     before_seq: int
@@ -98,10 +161,18 @@ class Checkpoint:
     #: Total size of the state's per-key buffers (the "image size" the
     #: hash pass reads, and what a full dump of this state would cost).
     state_size: int = 0
-    #: Modelled sim-time cost charged when this checkpoint was taken.
+    #: Modelled sim-time cost charged on the event path when this
+    #: checkpoint was taken (for deferred takes: the capture only).
     cost: float = 0.0
     #: Blob layout for FULL entries (STATE or KEYMAP).
     layout: str = STATE
+    #: True until a deferred take's encode has been drained.
+    pending: bool = False
+    #: Deferred capture: key -> ``_SAME`` | shallow-copied value.
+    capture: Optional[dict] = field(default=None, repr=False)
+    #: Modelled background cost of the deferred encode (0 for
+    #: synchronous takes, where everything is in ``cost``).
+    encode_cost: float = 0.0
 
     @property
     def size(self) -> int:
@@ -119,10 +190,18 @@ class CheckpointStore:
     pass charges per state byte.  With ``codec="schema"`` deltas are
     charged ``encode_per_byte_cost`` over the changed bytes instead of
     ``delta_base_cost`` (userspace incremental encode, no freeze).
+    With version tracking the hash pass covers only the re-encoded
+    bytes plus ``version_check_per_key_cost`` per key.  Deferred takes
+    charge ``capture_base_cost`` + ``capture_per_key_cost`` per dirty
+    key on the event path and everything else in the background drain.
     All costs are in simulated seconds.  ``keep`` bounds retention
     (rollbacks only ever reach back a bounded number of events -- §5
     discusses reading "a history of snapshots"); ``full_every`` caps
     delta-chain length so restores stay cheap.
+
+    ``metrics`` (optional :class:`~repro.metrics.collector.
+    MetricsCollector`) mirrors take/skip/byte counters into the
+    Prometheus exposition.
     """
 
     def __init__(self, keep: int = 16, base_cost: float = 0.010,
@@ -132,7 +211,13 @@ class CheckpointStore:
                  hash_per_byte_cost: float = 2e-9,
                  dedup: bool = True,
                  codec: str = "pickle",
-                 encode_per_byte_cost: float = 5e-9):
+                 encode_per_byte_cost: float = 5e-9,
+                 use_versions: bool = True,
+                 deferred: bool = False,
+                 capture_base_cost: float = 2e-5,
+                 capture_per_key_cost: float = 1e-6,
+                 version_check_per_key_cost: float = 5e-8,
+                 metrics=None):
         if keep < 1:
             raise ValueError("keep must be >= 1")
         if full_every < 1:
@@ -148,14 +233,38 @@ class CheckpointStore:
         self.dedup = dedup
         self.codec = codec
         self.encode_per_byte_cost = encode_per_byte_cost
+        #: Consult the app's per-key version map (when it has one) to
+        #: skip encoding unchanged keys.  Off = the conservative
+        #: pre-dirty-tracking behaviour, every key re-encoded per take.
+        self.use_versions = use_versions
+        #: Defer encoding to :meth:`drain` (needs version tracking on
+        #: the app; falls back to synchronous takes without it).
+        self.deferred = deferred
+        self.capture_base_cost = capture_base_cost
+        self.capture_per_key_cost = capture_per_key_cost
+        self.version_check_per_key_cost = version_check_per_key_cost
+        self.metrics = metrics
         self._checkpoints: List[Checkpoint] = []
-        #: Per-key encoded buffers of the most recent state (take or
-        #: restore), the diff base for the next delta.
+        #: Pending (not yet encoded) entries, FIFO -- always a suffix
+        #: of ``_checkpoints``.
+        self._pending: List[Checkpoint] = []
+        #: Per-key encoded buffers of the most recent *finalised* state
+        #: (take, drain, or restore), the diff base for the next
+        #: delta/finalise.
         self._prev_key_blobs: Optional[Dict[object, bytes]] = None
         self._prev_hash: bytes = b""
+        self._prev_size: int = 0
+        #: Version map + key set snapshot of the most recent *take*
+        #: (pending included), the clean/dirty baseline for the next.
+        self._prev_versions: Optional[Dict[object, int]] = None
+        self._prev_state_keys: Optional[frozenset] = None
         #: Entries since (and including) the last full image; resets
-        #: the delta chain when it reaches ``full_every``.
+        #: the delta chain when it reaches ``full_every``.  Advanced at
+        #: finalise time so deferred entries classify in FIFO order.
         self._chain_len = 0
+        #: Newest event seq the owning stub has reported
+        #: (:meth:`note_seq`); drives the checkpoint-lag stat.
+        self._last_seq = 0
         self.taken_count = 0
         self.restored_count = 0
         self.full_count = 0
@@ -169,10 +278,19 @@ class CheckpointStore:
         self.total_cost = 0.0
         #: Value-codec invocation counts.  ``value_encodes`` is the
         #: serialize-call count the double-serialization regression
-        #: test pins: one encode per state key per (non-dedup'd
+        #: test pins: one encode per *dirty* state key per (non-dedup'd
         #: differing) take, no re-encodes for the stored image.
         self.value_encodes = 0
         self.value_decodes = 0
+        #: Keys whose encode was skipped because their version (and so
+        #: their value) had not moved since the previous take.
+        self.encodes_skipped = 0
+        #: Deferred-encoding accounting: entries finalised in drains,
+        #: their background cost, and entries lost to a crash.
+        self.deferred_takes = 0
+        self.deferred_drains = 0
+        self.deferred_cost = 0.0
+        self.pending_dropped = 0
 
     # -- value codec -----------------------------------------------------
 
@@ -190,8 +308,43 @@ class CheckpointStore:
 
     # -- snapshot --------------------------------------------------------
 
-    def _key_blobs(self, state: dict) -> Dict[object, bytes]:
-        return {key: self._encode_val(value) for key, value in state.items()}
+    def _versions_of(self, app) -> Optional[Dict[object, int]]:
+        """The app's live version map, or None (conservative path)."""
+        if not self.use_versions:
+            return None
+        source = getattr(app, "state_versions", None)
+        if source is None:
+            return None
+        return source() if callable(source) else None
+
+    def _key_blobs(self, state: dict,
+                   versions: Optional[Dict[object, int]],
+                   ) -> Tuple[Dict[object, bytes], int]:
+        """Encode ``state`` per key, reusing the previous take's buffer
+        for every key whose version has not moved.  Returns the buffer
+        map and the number of bytes actually (re-)encoded."""
+        prev_blobs = self._prev_key_blobs
+        prev_versions = self._prev_versions
+        if (versions is None or prev_blobs is None
+                or prev_versions is None):
+            blobs = {key: self._encode_val(value)
+                     for key, value in state.items()}
+            return blobs, sum(len(b) for b in blobs.values())
+        blobs: Dict[object, bytes] = {}
+        encoded_bytes = 0
+        skipped = 0
+        for key, value in state.items():
+            prev = prev_blobs.get(key)
+            if (prev is not None
+                    and versions.get(key) == prev_versions.get(key)):
+                blobs[key] = prev
+                skipped += 1
+            else:
+                blob = self._encode_val(value)
+                blobs[key] = blob
+                encoded_bytes += len(blob)
+        self.encodes_skipped += skipped
+        return blobs, encoded_bytes
 
     @staticmethod
     def _hash_of(key_blobs: Dict[object, bytes]) -> bytes:
@@ -201,32 +354,41 @@ class CheckpointStore:
             digest.update(key_blobs[key])
         return digest.digest()
 
-    def take(self, app, before_seq: int, now: float) -> Checkpoint:
+    def note_seq(self, seq: int) -> None:
+        """The stub reports every event seq it sees, so checkpoint lag
+        (events since the last durable image) is computable here."""
+        if seq > self._last_seq:
+            self._last_seq = seq
+
+    def take(self, app, before_seq: int, now: float,
+             defer: Optional[bool] = None) -> Checkpoint:
         """Snapshot ``app`` prior to event ``before_seq``.
 
-        Returns the checkpoint; its modelled cost is available via
-        :meth:`cost_of` and accumulated in :attr:`total_cost`.
+        Returns the checkpoint; its modelled (event-path) cost is
+        available via :meth:`cost_of` and accumulated in
+        :attr:`total_cost`.  ``defer`` overrides the store's
+        :attr:`deferred` default for this take (the stub forces
+        synchronous takes when a state-size resource limit needs an
+        exact image size).
         """
+        self.note_seq(before_seq)
         try:
             state = app.get_state()
             if isinstance(state, dict):
-                key_blobs = self._key_blobs(state)
+                versions = self._versions_of(app)
                 full_blob = None
             else:
                 # Non-dict states fall back to monolithic snapshots.
-                key_blobs = None
+                versions = None
                 self.value_encodes += 1
                 full_blob = pickle.dumps(state,
                                          protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             raise CheckpointError(f"cannot snapshot {app.name}: {exc}") from exc
 
-        if key_blobs is not None:
-            state_size = sum(len(b) for b in key_blobs.values())
-            state_hash = self._hash_of(key_blobs)
-            checkpoint = self._take_incremental(
-                before_seq, now, key_blobs, state_hash, state_size)
-        else:
+        defer = self.deferred if defer is None else defer
+        if full_blob is not None:
+            self.flush()
             checkpoint = self._append(Checkpoint(
                 before_seq=before_seq, taken_at=now, blob=full_blob,
                 kind=FULL, state_hash=b"", state_size=len(full_blob),
@@ -235,9 +397,209 @@ class CheckpointStore:
             ))
             self._prev_key_blobs = None
             self._prev_hash = b""
+            self._prev_size = len(full_blob)
+            self._prev_versions = None
+            self._prev_state_keys = None
+        elif (defer and versions is not None and self._checkpoints
+                and self._prev_versions is not None
+                and self._prev_key_blobs is not None):
+            checkpoint = self._take_deferred(before_seq, now, state,
+                                             versions)
+        else:
+            self.flush()
+            checkpoint = self._take_sync(before_seq, now, state, versions)
         self.taken_count += 1
         self.total_cost += checkpoint.cost
+        if self.metrics is not None:
+            self.metrics.inc("checkpoint.taken")
         return checkpoint
+
+    def _take_sync(self, before_seq: int, now: float, state: dict,
+                   versions: Optional[Dict[object, int]]) -> Checkpoint:
+        """The synchronous (encode-now) take path."""
+        version_cost = 0.0
+        if (versions is not None and self.dedup
+                and self._versions_unchanged(state, versions)):
+            # The whole version map is where it was: nothing to encode,
+            # nothing to hash -- record the position, share the
+            # predecessor's image, charge only the version compare.
+            version_cost = len(state) * self.version_check_per_key_cost
+            self.dedup_hits += 1
+            self.encodes_skipped += len(state)
+            return self._append(Checkpoint(
+                before_seq=before_seq, taken_at=now, blob=b"",
+                kind=DEDUP, state_hash=self._prev_hash,
+                state_size=self._prev_size, cost=version_cost,
+            ))
+        if versions is not None:
+            version_cost = len(state) * self.version_check_per_key_cost
+        key_blobs, encoded_bytes = self._key_blobs(state, versions)
+        state_size = sum(len(b) for b in key_blobs.values())
+        state_hash = self._hash_of(key_blobs)
+        # With version tracking the verify pass only reads the dirty
+        # bytes; without it, the whole image (the pre-tracking model).
+        hashed_bytes = encoded_bytes if versions is not None else state_size
+        hash_cost = hashed_bytes * self.hash_per_byte_cost + version_cost
+        checkpoint = self._take_incremental(
+            before_seq, now, key_blobs, state_hash, state_size, hash_cost)
+        self._prev_versions = dict(versions) if versions is not None else None
+        self._prev_state_keys = (frozenset(state) if versions is not None
+                                 else None)
+        return checkpoint
+
+    def _versions_unchanged(self, state: dict,
+                            versions: Dict[object, int]) -> bool:
+        """True when the version map and key set both match the
+        previous take exactly -- the state cannot have changed."""
+        return (self._prev_versions is not None
+                and self._prev_state_keys is not None
+                and self._checkpoints
+                and frozenset(state) == self._prev_state_keys
+                and versions == self._prev_versions)
+
+    # -- deferred takes ---------------------------------------------------
+
+    def _take_deferred(self, before_seq: int, now: float, state: dict,
+                       versions: Dict[object, int]) -> Checkpoint:
+        """Capture now, encode later (:meth:`drain`).
+
+        Clean keys (version unmoved) are recorded as ``_SAME`` markers
+        resolved against the predecessor's buffers at drain time;
+        dirty keys are shallow-copied so later in-place mutations by
+        the app cannot leak into this snapshot.
+        """
+        prev_versions = self._prev_versions
+        prev_keys = self._prev_state_keys or frozenset()
+        capture: Dict[object, object] = {}
+        dirty = 0
+        for key, value in state.items():
+            if (key in prev_keys
+                    and versions.get(key) == prev_versions.get(key)):
+                capture[key] = _SAME
+            else:
+                capture[key] = _shallow_copy(value)
+                dirty += 1
+        cost = (self.capture_base_cost
+                + dirty * self.capture_per_key_cost
+                + len(state) * self.version_check_per_key_cost)
+        checkpoint = Checkpoint(
+            before_seq=before_seq, taken_at=now, blob=b"",
+            kind=DELTA, state_hash=b"", state_size=0, cost=cost,
+            pending=True, capture=capture,
+        )
+        self.deferred_takes += 1
+        self._prev_versions = dict(versions)
+        self._prev_state_keys = frozenset(state)
+        return self._append(checkpoint)
+
+    def _finalize(self, entry: Checkpoint) -> float:
+        """Encode one pending entry; returns its background cost."""
+        prev = self._prev_key_blobs or {}
+        key_blobs: Dict[object, bytes] = {}
+        encoded_bytes = 0
+        skipped = 0
+        for key, marker in entry.capture.items():
+            if marker is _SAME:
+                try:
+                    key_blobs[key] = prev[key]
+                except KeyError:
+                    raise CheckpointError(
+                        f"deferred capture at before_seq="
+                        f"{entry.before_seq} references a key with no "
+                        "predecessor buffer") from None
+                skipped += 1
+            else:
+                blob = self._encode_val(marker)
+                key_blobs[key] = blob
+                encoded_bytes += len(blob)
+        self.encodes_skipped += skipped
+        entry.capture = None
+        entry.pending = False
+        self._pending.remove(entry)
+        state_size = sum(len(b) for b in key_blobs.values())
+        state_hash = self._hash_of(key_blobs)
+        hash_cost = encoded_bytes * self.hash_per_byte_cost
+        entry.state_size = state_size
+        entry.state_hash = state_hash
+        if self.dedup and state_hash == self._prev_hash:
+            entry.kind = DEDUP
+            entry.blob = b""
+            self.dedup_hits += 1
+            bg_cost = hash_cost
+        elif self._chain_len < self.full_every:
+            changed = {k: b for k, b in key_blobs.items()
+                       if prev.get(k) != b}
+            removed = tuple(k for k in prev if k not in key_blobs)
+            blob = pickle.dumps((changed, removed),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            changed_bytes = sum(len(b) for b in changed.values())
+            entry.kind = DELTA
+            entry.blob = blob
+            self._chain_len += 1
+            self.delta_count += 1
+            bg_cost = self._delta_cost(hash_cost, changed_bytes, len(blob))
+        else:
+            blob = self._keymap_blob(key_blobs)
+            entry.kind = FULL
+            entry.layout = KEYMAP
+            entry.blob = blob
+            self._chain_len = 1
+            self.full_count += 1
+            bg_cost = (hash_cost + self.base_cost
+                       + len(blob) * self.per_byte_cost)
+        entry.encode_cost = bg_cost
+        self.total_bytes += entry.size
+        self.bytes_written += entry.size
+        self.total_cost += bg_cost
+        self.deferred_cost += bg_cost
+        self.deferred_drains += 1
+        self._prev_key_blobs = key_blobs
+        self._prev_hash = state_hash
+        self._prev_size = state_size
+        if self.metrics is not None and entry.size:
+            self.metrics.inc("checkpoint.bytes_written", entry.size)
+        return bg_cost
+
+    def drain(self, budget: Optional[int] = None,
+              ) -> Tuple[List[Checkpoint], float]:
+        """Finalise up to ``budget`` pending entries (all, by default),
+        oldest first.  Returns the finalised entries and their total
+        modelled background cost -- the ``crashpad.encode`` span."""
+        finalized: List[Checkpoint] = []
+        cost = 0.0
+        while self._pending and (budget is None or len(finalized) < budget):
+            entry = self._pending[0]
+            cost += self._finalize(entry)
+            finalized.append(entry)
+        return finalized, cost
+
+    def flush(self) -> float:
+        """Force every pending entry durable now (restore, failover
+        promotion, eviction, or any consumer that needs the image)."""
+        _, cost = self.drain()
+        return cost
+
+    def drop_pending(self) -> int:
+        """Crash semantics: deferred captures that never drained die
+        with the process.  Recovery then starts from the newest
+        *durable* entry and replays the correspondingly longer NetLog
+        tail.  Returns how many entries were dropped."""
+        if not self._pending:
+            return 0
+        dropped = len(self._pending)
+        pending = set(map(id, self._pending))
+        self._checkpoints = [c for c in self._checkpoints
+                             if id(c) not in pending]
+        self._pending.clear()
+        self.pending_dropped += dropped
+        # The clean/dirty baseline described a dropped take; the next
+        # take must not skip against it.  (Restore re-pairs the
+        # baseline right after, on the crash path.)
+        self._prev_versions = None
+        self._prev_state_keys = None
+        if self.metrics is not None:
+            self.metrics.inc("checkpoint.pending_dropped", dropped)
+        return dropped
 
     @staticmethod
     def _keymap_blob(key_blobs: Dict[object, bytes]) -> bytes:
@@ -257,8 +619,8 @@ class CheckpointStore:
 
     def _take_incremental(self, before_seq: int, now: float,
                           key_blobs: Dict[object, bytes],
-                          state_hash: bytes, state_size: int) -> Checkpoint:
-        hash_cost = state_size * self.hash_per_byte_cost
+                          state_hash: bytes, state_size: int,
+                          hash_cost: float) -> Checkpoint:
         if (self.dedup and self._checkpoints
                 and state_hash == self._prev_hash):
             # Unchanged since the last checkpoint: record the position,
@@ -294,10 +656,13 @@ class CheckpointStore:
             ))
         self._prev_key_blobs = key_blobs
         self._prev_hash = state_hash
+        self._prev_size = state_size
         return checkpoint
 
     def _append(self, checkpoint: Checkpoint) -> Checkpoint:
-        if checkpoint.kind == FULL:
+        if checkpoint.pending:
+            self._pending.append(checkpoint)
+        elif checkpoint.kind == FULL:
             self._chain_len = 1
             self.full_count += 1
         elif checkpoint.kind == DELTA:
@@ -306,7 +671,13 @@ class CheckpointStore:
         self._checkpoints.append(checkpoint)
         self.total_bytes += checkpoint.size
         self.bytes_written += checkpoint.size
+        if (self.metrics is not None and checkpoint.size
+                and not checkpoint.pending):
+            self.metrics.inc("checkpoint.bytes_written", checkpoint.size)
         if len(self._checkpoints) > self.keep:
+            # Eviction promotes the survivor through the dropped
+            # entries, which needs every image final.
+            self.flush()
             self._evict(len(self._checkpoints) - self.keep)
         return checkpoint
 
@@ -334,7 +705,8 @@ class CheckpointStore:
         del self._checkpoints[:count]
 
     def cost_of(self, checkpoint: Checkpoint) -> float:
-        """Simulated seconds this checkpoint cost to take."""
+        """Simulated seconds this checkpoint cost to take (the event-
+        path share; a deferred take's encode cost is background)."""
         return checkpoint.cost
 
     def restore_cost_of(self, checkpoint: Checkpoint) -> float:
@@ -375,10 +747,19 @@ class CheckpointStore:
                 return entry
         return None
 
+    def latest_durable(self) -> Optional[Checkpoint]:
+        """Newest entry whose image exists (pending entries do not)."""
+        for entry in reversed(self._checkpoints):
+            if not entry.pending:
+                return entry
+        return None
+
     def _materialize_blobs(self, checkpoint: Checkpoint) -> Dict[object, bytes]:
         """The per-key encoded buffers at ``checkpoint``, reconstructing
         delta/dedup entries by folding their chain at the buffer level
         (no value decodes)."""
+        if checkpoint.pending:
+            self.flush()
         if checkpoint.kind == FULL:
             if checkpoint.layout != KEYMAP:
                 raise CheckpointError(
@@ -389,6 +770,10 @@ class CheckpointStore:
         chain: List[Checkpoint] = []
         base: Optional[Checkpoint] = None
         for entry in reversed(self._checkpoints[:idx + 1]):
+            if entry.pending:
+                raise CheckpointError(
+                    f"delta chain for before_seq={checkpoint.before_seq} "
+                    "crosses a pending entry (flush first)")
             if entry.kind == FULL:
                 base = entry
                 break
@@ -438,7 +823,12 @@ class CheckpointStore:
         would let a later dedup take alias their (stale) chain -- or a
         later :meth:`latest_before` pick one -- silently restoring the
         pre-rollback timeline's state.
+
+        Pending entries are flushed first: a *planned* restore needs
+        the image.  (Crash recovery calls :meth:`drop_pending` before
+        picking its target, so this flush is a no-op there.)
         """
+        self.flush()
         blobs: Optional[Dict[object, bytes]] = None
         try:
             if checkpoint.kind == FULL and checkpoint.layout == STATE:
@@ -467,11 +857,27 @@ class CheckpointStore:
             self._prev_key_blobs = blobs
             self._prev_hash = self._hash_of(blobs)
         elif isinstance(state, dict):
-            self._prev_key_blobs = self._key_blobs(state)
+            self._prev_key_blobs = self._key_blobs(state, None)[0]
             self._prev_hash = self._hash_of(self._prev_key_blobs)
         else:
             self._prev_key_blobs = None
             self._prev_hash = b""
+        self._prev_size = (sum(len(b) for b in self._prev_key_blobs.values())
+                           if self._prev_key_blobs is not None else 0)
+        # Re-pair the version baseline with the restored buffers: the
+        # version map survives set_state untouched (it is bookkeeping
+        # about the state, not state), so pairing it with the restored
+        # buffers *now* absorbs any version bumped by the handler that
+        # crashed mid-run.  Replay bumps versions for every key it
+        # touches, forcing their re-encode at the next take.
+        versions = (self._versions_of(app)
+                    if isinstance(state, dict) else None)
+        if versions is not None:
+            self._prev_versions = dict(versions)
+            self._prev_state_keys = frozenset(state)
+        else:
+            self._prev_versions = None
+            self._prev_state_keys = None
         # Force the next changed-state take to open a fresh chain.
         self._chain_len = self.full_every
 
@@ -497,6 +903,10 @@ class CheckpointStore:
     def count(self) -> int:
         return len(self._checkpoints)
 
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
     def latest(self) -> Optional[Checkpoint]:
         return self._checkpoints[-1] if self._checkpoints else None
 
@@ -507,6 +917,14 @@ class CheckpointStore:
         """All retained checkpoints, oldest first (§5: "a history of
         snapshots" for multi-event failure recovery)."""
         return list(self._checkpoints)
+
+    def checkpoint_lag(self) -> int:
+        """Events since the last *durable* image -- the NetLog tail a
+        crash right now would have to replay."""
+        durable = self.latest_durable()
+        if durable is None:
+            return self._last_seq
+        return max(0, self._last_seq - durable.before_seq)
 
     def stats(self) -> Dict[str, object]:
         """Counters for experiment reporting (E7's cost columns)."""
@@ -522,4 +940,11 @@ class CheckpointStore:
             "codec": self.codec,
             "value_encodes": self.value_encodes,
             "value_decodes": self.value_decodes,
+            "encodes_skipped": self.encodes_skipped,
+            "pending": len(self._pending),
+            "pending_dropped": self.pending_dropped,
+            "deferred_takes": self.deferred_takes,
+            "deferred_drains": self.deferred_drains,
+            "deferred_cost": self.deferred_cost,
+            "checkpoint_lag": self.checkpoint_lag(),
         }

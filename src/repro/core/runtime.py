@@ -22,6 +22,7 @@ from repro.core.appvisor.isolation import ResourceLimits
 from repro.core.appvisor.proxy import AppVisorProxy
 from repro.core.appvisor.stub import AppVisorStub
 from repro.core.crashpad.checkpoint import CheckpointStore
+from repro.core.crashpad.interval import CheckpointPolicy
 from repro.core.crashpad.policy_lang import PolicyTable
 from repro.core.crashpad.recovery import CrashPad
 from repro.core.crashpad.ticket import TicketStore
@@ -50,6 +51,10 @@ class LegoSDNRuntime:
                  checkpoint_dedup: bool = True,
                  checkpoint_codec: str = "schema",
                  checkpoint_encode_per_byte_cost: float = 5e-9,
+                 checkpoint_dirty_tracking: bool = True,
+                 checkpoint_deferred: bool = True,
+                 checkpoint_adaptive: bool = False,
+                 checkpoint_max_tail: int = 64,
                  parallel_lanes: bool = False,
                  seed: int = 0):
         self.controller = controller
@@ -91,6 +96,19 @@ class LegoSDNRuntime:
         #: legacy format with CRIU-style fixed delta freeze costs).
         self.checkpoint_codec = checkpoint_codec
         self.checkpoint_encode_per_byte_cost = checkpoint_encode_per_byte_cost
+        #: Consult app-side per-key version counters (``mark_dirty``) to
+        #: skip re-encoding unchanged keys on every take; apps without
+        #: tracking keep the conservative encode-everything path.
+        self.checkpoint_dirty_tracking = checkpoint_dirty_tracking
+        #: Move checkpoint encoding off the event path: takes capture
+        #: cheap references, the stub heartbeat drains the encodes.
+        self.checkpoint_deferred = checkpoint_deferred
+        #: Adaptive interval policy: tighten to per-event durable
+        #: checkpoints while HealthWatchdog (when attached) or a recent
+        #: crash signals elevated risk.
+        self.checkpoint_adaptive = checkpoint_adaptive
+        #: Hard bound on events since the last durable image.
+        self.checkpoint_max_tail = checkpoint_max_tail
         self.seed = seed
         self.crashpad = CrashPad(policy_table=policy_table,
                                  tickets=TicketStore())
@@ -145,6 +163,15 @@ class LegoSDNRuntime:
             dedup=self.checkpoint_dedup,
             codec=self.checkpoint_codec,
             encode_per_byte_cost=self.checkpoint_encode_per_byte_cost,
+            use_versions=self.checkpoint_dirty_tracking,
+            deferred=self.checkpoint_deferred,
+            metrics=self.controller.telemetry.metrics
+            if self.controller.telemetry is not None else None,
+        )
+        policy = CheckpointPolicy(
+            interval=checkpoint_interval or self.checkpoint_interval,
+            adaptive=self.checkpoint_adaptive,
+            max_tail=self.checkpoint_max_tail,
         )
         stub = AppVisorStub(
             self.sim, app,
@@ -155,6 +182,7 @@ class LegoSDNRuntime:
             limits=limits,
             replica_factory=replica_factory,
             telemetry=self.controller.telemetry,
+            checkpoint_policy=policy,
         )
         chaos = self.chaos(app.name) if callable(self.chaos) else self.chaos
         channel = UdpChannel(

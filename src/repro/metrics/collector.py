@@ -116,9 +116,15 @@ class MetricsCollector:
         self.max_samples = max_samples
         self.counters: Dict[str, int] = {}
         self.recorders: Dict[str, LatencyRecorder] = {}
+        #: Last-write-wins instantaneous values (e.g. checkpoint lag:
+        #: events since the last durable image) -- not cumulative.
+        self.gauges: Dict[str, float] = {}
 
     def inc(self, name: str, delta: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + delta
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         recorder = self.recorders.get(name)
@@ -131,7 +137,10 @@ class MetricsCollector:
         return self.recorders.get(name)
 
     def snapshot(self) -> Dict[str, object]:
-        return {
+        doc = {
             "counters": dict(self.counters),
             "timers": {name: r.summary() for name, r in self.recorders.items()},
         }
+        if self.gauges:
+            doc["gauges"] = dict(self.gauges)
+        return doc

@@ -835,6 +835,13 @@ class ReplicaSet:
             checkpoint_full_every=old_runtime.checkpoint_full_every,
             checkpoint_delta_cost=old_runtime.checkpoint_delta_cost,
             checkpoint_dedup=old_runtime.checkpoint_dedup,
+            checkpoint_codec=old_runtime.checkpoint_codec,
+            checkpoint_encode_per_byte_cost=(
+                old_runtime.checkpoint_encode_per_byte_cost),
+            checkpoint_dirty_tracking=old_runtime.checkpoint_dirty_tracking,
+            checkpoint_deferred=old_runtime.checkpoint_deferred,
+            checkpoint_adaptive=old_runtime.checkpoint_adaptive,
+            checkpoint_max_tail=old_runtime.checkpoint_max_tail,
             parallel_lanes=old_runtime.proxy.parallel_lanes,
             seed=old_runtime.seed,
         )

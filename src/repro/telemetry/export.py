@@ -106,6 +106,11 @@ def prometheus_text(metrics, prefix: str = "repro",
                      f"{_format_value(recorder.sum)}")
         lines.append(f"{hist}_count{_label_set(base_labels)} "
                      f"{recorder.count}")
+    for name, value in sorted(getattr(metrics, "gauges", {}).items()):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{_label_set(base_labels)} "
+                     f"{_format_value(value)}")
     derived = bytes_per_event(metrics)
     if derived is not None:
         metric = f"{prefix}_channel_bytes_per_event"

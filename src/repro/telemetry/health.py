@@ -293,6 +293,19 @@ class HealthWatchdog:
             burden += anomaly.severity * (0.5 ** (age / self.DECAY_HALF_LIFE))
         return max(0.0, min(1.0, 1.0 - burden))
 
+    def guard_checkpoints(self, runtime) -> int:
+        """Wire this watchdog's health score into every app stub's
+        adaptive checkpoint policy: while the score is depressed, the
+        policy tightens to per-event durable checkpoints, buying the
+        shortest possible recovery tail exactly when crashes are
+        likeliest.  Returns how many stubs were wired.
+        """
+        wired = 0
+        for stub in runtime.stubs.values():
+            stub.policy.attach_health(self.health_score)
+            wired += 1
+        return wired
+
     @staticmethod
     def status_of(score: float) -> str:
         if score >= 0.9:

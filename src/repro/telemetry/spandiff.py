@@ -26,6 +26,7 @@ HOT_PATH_SPANS = (
     "controller.dispatch",
     "appvisor.rpc",
     "appvisor.checkpoint",
+    "crashpad.encode",
     "netlog.txn",
 )
 
