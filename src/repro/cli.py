@@ -8,6 +8,7 @@ Gives operators the common workflows without writing a script:
 - ``trace``         -- run a scenario with tracing on; print/save the trace
 - ``serve``         -- run a scenario, then serve /metrics over HTTP
 - ``chaos``         -- stress the control channel with seeded faults
+- ``byzantine``     -- compromise a replica; sweep tamper-rate x mode
 - ``bug-study``     -- replay a synthetic bug corpus (the E1 experiment)
 - ``check-policy``  -- validate a compromise-policy file
 - ``show-topology`` -- describe a builder topology
@@ -593,6 +594,101 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _run_byzantine_point(args, tamper: float, mode: str):
+    """One Byzantine run: a compromised backup at ``tamper`` fault rate
+    under replication mode ``mode``; returns the stats dict."""
+    from repro.apps import LearningSwitch
+    from repro.core.runtime import LegoSDNRuntime
+    from repro.faults.byzfaults import ByzantineProfile
+    from repro.network.net import Network
+    from repro.replication.replicaset import ReplicaSet
+    from repro.workloads.traffic import TrafficWorkload
+
+    profile = None
+    if tamper > 0:
+        # The liar: r1 tampers frames post-signature and votes
+        # fabricated digests, starting after a clean warmup so the
+        # detection latency is measurable.
+        profile = ByzantineProfile(seed=args.seed, tamper=tamper,
+                                   digest_lie=tamper,
+                                   start=args.fault_start)
+    net = Network(_build_topology(args.topology, args.size), seed=args.seed)
+    runtime = LegoSDNRuntime(net.controller)
+    replicas = ReplicaSet(
+        net, runtime,
+        backups=args.backups,
+        repl_mode=mode,
+        byzantine=(lambda rid: profile if rid == "r1" else None),
+        seed=args.seed,
+    )
+    runtime.launch_app(LearningSwitch())
+    net.start()
+    net.run_for(1.0)
+    TrafficWorkload(net, rate=args.rate, seed=args.seed,
+                    selection="random").start(args.duration * 0.7)
+    net.run_for(args.duration)
+    stats = replicas.stats()
+    stats["tamper"] = tamper
+    stats["injected"] = profile.stats() if profile is not None else {}
+    stats["divergence"] = replicas.divergence()
+    stats["reachability"] = net.reachability(wait=1.0)
+    return stats
+
+
+def cmd_byzantine(args) -> int:
+    """Sweep a tamper-rate x replication-mode matrix with a compromised
+    backup and report whether the set noticed: signature rejections,
+    vote conflicts, quarantines, and mode switches.  Exits non-zero
+    when a mode that should detect the liar failed to (or when the
+    primary's switch-state divergence is non-zero at the end)."""
+    rates = args.sweep if args.sweep else [args.tamper]
+    modes = args.modes
+    failed = []
+    for tamper in rates:
+        for mode in modes:
+            result = _run_byzantine_point(args, tamper, mode)
+            injected = result["injected"]
+            did_anything = any(
+                injected.get(k, 0) for k in
+                ("tampered", "equivocated", "replayed", "digests_lied"))
+            print(f"tamper={tamper:.0%} mode={mode}: "
+                  f"ended in {result['mode']} "
+                  f"(switches={result['mode_switches']})")
+            if injected:
+                print(f"  injected : tampered={injected['tampered']} "
+                      f"digests_lied={injected['digests_lied']} "
+                      f"first_at={injected['first_fault_at']}")
+            print(f"  detected : sig_rejected={result['sig_rejected']} "
+                  f"auth_faults={result['auth_faults']} "
+                  f"vote_conflicts={result['vote_conflicts']} "
+                  f"quarantines={result['quarantines']}")
+            print(f"  verdict  : divergence={result['divergence']} "
+                  f"reachability={result['reachability']:.0%} "
+                  f"votes confirmed={result['votes_confirmed']} "
+                  f"stalls={result['vote_stalls']}")
+            # The SLO: the primary's installed state must stay exactly
+            # its NetLog's committed state (liars detected, never
+            # obeyed), and any mode that can vote must have *noticed*
+            # an active liar.
+            point = f"tamper={tamper:.0%}/{mode}"
+            if result["divergence"] != 0:
+                failed.append(f"{point}: divergence "
+                              f"{result['divergence']} != 0")
+            if (did_anything and mode in ("byzantine", "adaptive")
+                    and not (result["sig_rejected"]
+                             or result["vote_conflicts"]
+                             or result["quarantines"])):
+                failed.append(f"{point}: liar went undetected")
+    if failed:
+        print("SLO MISS:")
+        for line in failed:
+            print(f"  {line}")
+        return 1
+    print(f"SLO met: {len(rates) * len(modes)} point(s), "
+          "zero divergence, every active liar detected")
+    return 0
+
+
 def cmd_bug_study(args) -> int:
     """Replay a synthetic bug corpus and report the catastrophic rate."""
     from repro.faults import make_bug_corpus
@@ -897,6 +993,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reachability floor; exit 1 below it "
                               "(default 0.99)")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_byz = sub.add_parser("byzantine", help=cmd_byzantine.__doc__)
+    add_topo_args(p_byz)
+    p_byz.add_argument("--tamper", type=float, default=0.2,
+                       help="per-frame tamper/digest-lie probability "
+                            "for the compromised backup (default 0.2)")
+    p_byz.add_argument("--sweep", type=lambda t: [
+        float(x) for x in t.split(",")], default=None,
+        metavar="R1,R2,...",
+        help="sweep several tamper rates instead of one")
+    p_byz.add_argument("--modes", type=lambda t: t.split(","),
+                       default=["crash", "byzantine", "adaptive"],
+                       metavar="M1,M2,...",
+                       help="replication modes to cross with each rate "
+                            "(default crash,byzantine,adaptive)")
+    p_byz.add_argument("--backups", type=_positive_int, default=3,
+                       help="warm backups (default 3: a 4-replica set "
+                            "tolerates f=1)")
+    p_byz.add_argument("--fault-start", type=float, default=2.0,
+                       help="sim time the compromise activates "
+                            "(default 2.0; honest before)")
+    p_byz.add_argument("--duration", type=float, default=6.0)
+    p_byz.add_argument("--rate", type=float, default=50.0,
+                       help="traffic rate, packets/s (default 50)")
+    p_byz.set_defaults(func=cmd_byzantine)
 
     p_bugs = sub.add_parser("bug-study", help=cmd_bug_study.__doc__)
     p_bugs.add_argument("--count", type=int, default=100)

@@ -18,6 +18,7 @@ from repro.faults.bugs import (
     AppHang,
     make_bug_corpus,
 )
+from repro.faults.byzfaults import ByzantineProfile
 from repro.faults.injector import FaultyApp, PartialPolicyApp, crash_on
 from repro.faults.netfaults import ChaosProfile, PartitionWindow
 
@@ -25,6 +26,7 @@ __all__ = [
     "AppHang",
     "Bug",
     "BugKind",
+    "ByzantineProfile",
     "CATASTROPHIC_KINDS",
     "ChaosProfile",
     "FaultyApp",

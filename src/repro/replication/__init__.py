@@ -24,9 +24,27 @@ plus N warm backups on the same simulated clock:
 - AppVisor stubs survive the failover and re-attach to the new
   primary's proxy with their state and checkpoints intact -- Crash-Pad
   keeps handling *app* failures unchanged on whichever replica is
-  primary.
+  primary;
+- :mod:`repro.replication.byzantine` hardens the whole conversation
+  against replicas that *lie*: pair-keyed HMAC stamps on every frame,
+  chain digests over the committed record stream voted 2f+1 in
+  BYZANTINE mode, and an adaptive, epoch-fenced mode policy that
+  escalates from cheap CRASH_FAULT replication on divergence or auth
+  anomalies and de-escalates after a clean window.
 """
 
+from repro.replication.byzantine import (
+    AuthFault,
+    DigestLedger,
+    ModeSwitch,
+    ReplicaKeyring,
+    ReplicationMode,
+    ReplicationModePolicy,
+    chain_digest,
+    resolve_leaf,
+    tolerable_f,
+    vote_threshold,
+)
 from repro.replication.fence import EpochFence
 from repro.replication.frames import (
     AppDelta,
@@ -44,13 +62,23 @@ from repro.replication.replicaset import (
 
 __all__ = [
     "AppDelta",
+    "AuthFault",
     "ControllerReplica",
+    "DigestLedger",
     "EpochFence",
     "FailoverRecord",
+    "ModeSwitch",
     "RecordShip",
     "ReplAck",
     "ReplHeartbeat",
+    "ReplicaKeyring",
     "ReplicaRole",
     "ReplicaSet",
+    "ReplicationMode",
+    "ReplicationModePolicy",
     "TxnResolve",
+    "chain_digest",
+    "resolve_leaf",
+    "tolerable_f",
+    "vote_threshold",
 ]

@@ -13,6 +13,12 @@ a stale primary cannot be trusted to police itself, so the switches do
 it.  This mirrors the classic storage-fencing discipline used by
 primary-backup systems (SMaRtLight keeps a single active controller
 per epoch for the same reason).
+
+The same fence discipline guards the Byzantine
+:class:`~repro.replication.byzantine.ReplicationModePolicy`: mode
+transitions carry the requester's epoch and a request computed before
+a failover (delivered after) is rejected, so a mid-escalation
+promotion cannot split-brain the replication mode.
 """
 
 from __future__ import annotations
@@ -46,6 +52,15 @@ class EpochFence:
                 f"fence cannot move backwards: {self.current_epoch} -> {epoch}"
             )
         self.current_epoch = epoch
+
+    def try_advance(self, epoch: int) -> bool:
+        """Non-raising :meth:`advance` for callers that merely *adopt*
+        epochs (the mode policy crossing a failover): a stale epoch is
+        refused with False instead of an exception."""
+        if epoch < self.current_epoch:
+            return False
+        self.current_epoch = epoch
+        return True
 
     def permits(self, epoch: Optional[int]) -> bool:
         return epoch is None or epoch >= self.current_epoch

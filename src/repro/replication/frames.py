@@ -25,6 +25,15 @@ timestamp -- so a backup's shadow is byte-for-byte the state the
 primary's NetLog committed, never a half-applied transaction.  Records
 of transactions still open when the primary dies are the *orphans* the
 promoted backup rolls back from their shipped inverses.
+
+Every frame carries a trailing ``auth`` stamp: a truncated HMAC over
+the frame's canonical packed encoding, keyed per replica pair
+(:class:`~repro.replication.byzantine.ReplicaKeyring`).  Heartbeats and
+acks additionally carry a ``digest`` -- the sender's committed record
+stream chain digest at its advertised resolve floor -- which is the
+vote the Byzantine mode's 2f+1 acceptance counts.  Both are trailing
+defaulted fields, so the packed codec's schema-evolution rule keeps
+old captures decodable.
 """
 
 from __future__ import annotations
@@ -73,6 +82,8 @@ class RecordShip:
     #: produced this record (0 = untraced); lets the shipping channel's
     #: delivery/retransmission spans attach to the event's causal tree.
     trace_id: int = 0
+    #: Pair-keyed HMAC over the canonical encoding (auth cleared).
+    auth: bytes = b""
 
 
 @register_dataclass
@@ -97,6 +108,14 @@ class TxnResolve:
     #: Causal identity of the resolved transaction's event (0 =
     #: untraced), mirroring :attr:`RecordShip.trace_id`.
     trace_id: int = 0
+    #: The primary's leaf digest of this resolve's committed content
+    #: (:func:`~repro.replication.byzantine.resolve_leaf`).  A backup
+    #: whose own computation disagrees abstains from voting the resolve
+    #: until a resync heals it -- so a gap can stall its vote but never
+    #: poison its chain digest.
+    leaf: int = 0
+    #: Pair-keyed HMAC over the canonical encoding (auth cleared).
+    auth: bytes = b""
 
 
 @register_dataclass
@@ -117,6 +136,11 @@ class ReplHeartbeat:
     #: axis: a backup can be caught up on records yet missing the
     #: resolve that folds them (partition sliced mid-transaction).
     resolve_count: int = 0
+    #: The primary's committed-stream chain digest at ``resolve_count``
+    #: -- its own vote, which backups compare against their ledgers.
+    digest: int = 0
+    #: Pair-keyed HMAC over the canonical encoding (auth cleared).
+    auth: bytes = b""
 
 
 @register_dataclass
@@ -134,6 +158,15 @@ class ReplAck:
     #: How many resolves this backup has processed (quorum mode counts
     #: a commit as acked once the backup's resolve count passes it).
     resolve_count: int = 0
+    #: The backup's vote: its chain digest at ``digest_floor``.
+    #: Matching the primary's digest at the same floor means
+    #: byte-identical committed histories up to it.  ``digest_floor``
+    #: can lag ``resolve_count`` when the backup is abstaining from a
+    #: resolve whose records it has not yet fully received.
+    digest: int = 0
+    digest_floor: int = 0
+    #: Pair-keyed HMAC over the canonical encoding (auth cleared).
+    auth: bytes = b""
 
 
 @register_dataclass
@@ -158,3 +191,5 @@ class ResyncRequest:
     #: resolves with ``resolve_seq`` past this too (a partition can
     #: slice between a transaction's records and its resolve).
     from_resolve: int = 0
+    #: Pair-keyed HMAC over the canonical encoding (auth cleared).
+    auth: bytes = b""

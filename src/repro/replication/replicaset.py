@@ -29,6 +29,16 @@ from repro.core.runtime import LegoSDNRuntime
 from repro.core.appvisor.channel import UdpChannel
 from repro.openflow.flowtable import FlowTable
 from repro.openflow.messages import FlowStatsRequest
+from repro.replication.byzantine import (
+    AuthFault,
+    DigestLedger,
+    ReplicaKeyring,
+    ReplicationMode,
+    ReplicationModePolicy,
+    resolve_leaf,
+    tolerable_f,
+    vote_threshold,
+)
 from repro.replication.fence import EpochFence
 from repro.replication.frames import (
     AppDelta,
@@ -102,6 +112,31 @@ class ControllerReplica:
     hb_sent_at: float = float("-inf")
     hb_log_index: int = 0
     hb_resolve_count: int = 0
+    #: Frames rejected because their HMAC stamp failed verification
+    #: (tampered in flight, or forged without the pair key).
+    sig_rejected: int = 0
+    #: This replica's ordered view of the committed record stream --
+    #: the chain digest its votes advertise.
+    ledger: DigestLedger = field(default_factory=DigestLedger)
+    #: Resolves whose locally computed leaf digest disagreed with the
+    #: primary's advertised one (missing records, or a lying primary);
+    #: the replica abstains from voting those until a resync heals them.
+    leaf_mismatches: int = 0
+    #: Partial record sets awaiting a resync heal: resolve_seq ->
+    #: accumulated records (bounded).
+    pending_leaves: Dict[int, List[RecordShip]] = field(default_factory=dict)
+    #: Primary-side view: this backup's latest vote (ledger floor,
+    #: chain digest) and the highest floor whose vote matched ours.
+    vote_floor: int = 0
+    vote_digest: int = 0
+    vote_matched: int = 0
+    vote_conflicts: int = 0
+    #: Quarantined: votes conflicted with the majority.  Excluded from
+    #: shipping, voting, quorum, and election until rehabilitated.
+    quarantined: bool = False
+    quarantined_at: float = float("-inf")
+    #: Throttle for backup-side heartbeat-digest conflict reports.
+    digest_conflict_floor: int = -1
 
     @property
     def is_live(self) -> bool:
@@ -125,6 +160,9 @@ class FailoverRecord:
     orphan_txns: int
     orphan_inverses: int
     replayed_records: int
+    #: BYZANTINE mode only: whether 2f+1 surviving replicas agreed on
+    #: the promoted tail's chain digest (True trivially in CRASH_FAULT).
+    tail_verified: bool = True
 
 
 @dataclass
@@ -183,11 +221,23 @@ class ReplicaSet:
                  seed: int = 0,
                  controller=None,
                  dpids: Optional[List[int]] = None,
-                 shard_id: Optional[int] = None):
+                 shard_id: Optional[int] = None,
+                 repl_mode: str = "crash",
+                 clean_window: float = 2.0,
+                 byz_f: Optional[int] = None,
+                 vote_timeout: float = 0.25,
+                 quarantine_threshold: int = 2,
+                 auth_fault_threshold: int = 3,
+                 signed: bool = True,
+                 byzantine=None,
+                 secret=None):
         if backups < 1:
             raise ValueError("a replica set needs at least one backup")
         if lease_timeout <= heartbeat_interval:
             raise ValueError("lease_timeout must exceed heartbeat_interval")
+        if repl_mode not in ("crash", "byzantine", "adaptive"):
+            raise ValueError(
+                "repl_mode must be 'crash', 'byzantine', or 'adaptive'")
         self.net = net
         self.sim = net.sim
         #: The switch subset this set serves.  Defaults to the whole
@@ -230,6 +280,60 @@ class ReplicaSet:
         #: replay is not re-requested every heartbeat.
         self.resync_cooldown = resync_cooldown
         self.seed = seed
+        #: Authenticated shipping: every replication frame carries a
+        #: pair-keyed HMAC stamp, verified on receipt.  On by default;
+        #: ``signed=False`` is the codec A/B knob for the E20 overhead
+        #: measurement.
+        self.signed = signed
+        self.keyring = ReplicaKeyring(secret if secret is not None else seed)
+        #: Byzantine *replica* fault injection: a
+        #: :class:`~repro.faults.byzfaults.ByzantineProfile` per replica
+        #: id (callable ``rid -> profile-or-None``, dict, or one
+        #: profile), mirroring the ``chaos`` idiom.
+        self.byzantine = byzantine
+        self.repl_mode = repl_mode
+        #: The CRASH_FAULT <-> BYZANTINE state machine; "crash" and
+        #: "byzantine" pin the mode, "adaptive" lets anomalies escalate
+        #: and a clean window de-escalate.  Epoch-fenced at failover.
+        self.mode_policy = ReplicationModePolicy(
+            mode=(ReplicationMode.BYZANTINE if repl_mode == "byzantine"
+                  else ReplicationMode.CRASH_FAULT),
+            clean_window=clean_window,
+            pinned=repl_mode != "adaptive")
+        self.mode_policy.on_switch.append(self._on_mode_switch)
+        #: Tolerated Byzantine replicas; None derives floor((n-1)/3)
+        #: from the live cohort at each vote count.
+        self.byz_f = byz_f
+        self.vote_timeout = vote_timeout
+        #: Conflicting votes from one replica before it is quarantined.
+        self.quarantine_threshold = quarantine_threshold
+        #: Signature rejections from one peer per AuthFault raised.
+        self.auth_fault_threshold = auth_fault_threshold
+        #: Byzantine accounting (set level).
+        self.sig_rejected = 0
+        self.votes_cast = 0
+        self.vote_conflicts = 0
+        self.votes_confirmed = 0
+        self.vote_stalls = 0
+        self.quarantines = 0
+        self.rejoins = 0
+        self.tail_unverified = 0
+        self.auth_faults: List[AuthFault] = []
+        #: Called with each AuthFault (the replication-layer sibling of
+        #: the channel's on_fault).
+        self.on_auth_fault: List = []
+        #: Commits awaiting 2f+1 matching digest votes (BYZANTINE mode):
+        #: resolve_seq -> shipped_at.
+        self._pending_votes: Dict[int, float] = {}
+        #: Shipped-but-unresolved record frames per txn, for the
+        #: primary's leaf digest at resolve time.
+        self._txn_frames: Dict[int, List[RecordShip]] = {}
+        #: Chain-digest rebase point: ledgers restart here after each
+        #: failover (the view-change's agreed floor).
+        self._digest_base = 0
+        #: HealthWatchdog wired via guard_replication (None = standalone
+        #: escalation through the mode policy only).
+        self.watchdog = None
         self.epoch = 0
         self.ship_index = 0
         #: Total resolves shipped (the heartbeat's second lag axis).
@@ -329,7 +433,17 @@ class ReplicaSet:
 
     def live_backups(self) -> List[ControllerReplica]:
         return [r for r in self.replicas
-                if r.role is ReplicaRole.BACKUP and r.is_live]
+                if r.role is ReplicaRole.BACKUP and r.is_live
+                and not r.quarantined]
+
+    @property
+    def mode(self) -> ReplicationMode:
+        return self.mode_policy.mode
+
+    @property
+    def voting(self) -> bool:
+        """True while resolves require 2f+1 matching digest votes."""
+        return self.mode_policy.voting
 
     def backup_lag(self, replica: ControllerReplica) -> int:
         """Shipped records this backup has not yet received."""
@@ -438,6 +552,112 @@ class ReplicaSet:
             self._stop_stats = self.sim.every(
                 self.stats_interval, poll_stats)
 
+    # -- authenticated shipping ---------------------------------------------
+
+    def _primary_id(self) -> str:
+        primary = self.primary
+        return primary.replica_id if primary is not None else "r?"
+
+    def _byz_profile(self, replica_id: str):
+        if self.byzantine is None:
+            return None
+        if callable(self.byzantine):
+            return self.byzantine(replica_id)
+        if isinstance(self.byzantine, dict):
+            return self.byzantine.get(replica_id)
+        return self.byzantine
+
+    def _send_to_backup(self, frame, replica: ControllerReplica) -> None:
+        """Stamp and transmit one primary->backup frame.
+
+        Signing happens per peer (the MAC is pair-keyed), after which a
+        compromised primary's ByzantineProfile gets its say -- it holds
+        its own keys, so its equivocated variants are re-signed through
+        ``signer`` and pass authentication; only voting can catch them.
+        """
+        sender = self._primary_id()
+        receiver = replica.replica_id
+        if self.signed:
+            frame = self.keyring.stamp(frame, sender, receiver)
+        profile = self._byz_profile(sender)
+        if profile is not None:
+            signer = ((lambda f: self.keyring.stamp(f, sender, receiver))
+                      if self.signed else (lambda f: f))
+            frames = profile.perturb_primary(self.sim.now, frame,
+                                             receiver, signer)
+        else:
+            frames = (frame,)
+        for out in frames:
+            replica.channel.proxy_end.send(out)
+
+    def _send_to_primary(self, replica: ControllerReplica, frame) -> None:
+        """Stamp and transmit one backup->primary frame (acks, resyncs)."""
+        sender = replica.replica_id
+        receiver = self._primary_id()
+        if self.signed:
+            frame = self.keyring.stamp(frame, sender, receiver)
+        profile = self._byz_profile(sender)
+        if profile is not None:
+            signer = ((lambda f: self.keyring.stamp(f, sender, receiver))
+                      if self.signed else (lambda f: f))
+            frames = profile.perturb_backup(self.sim.now, frame, signer)
+        else:
+            frames = (frame,)
+        for out in frames:
+            replica.channel.stub_end.send(out)
+
+    def _note_sig_rejected(self, replica: ControllerReplica, frame) -> None:
+        """One frame failed HMAC verification: count it, and raise an
+        AuthFault once the run from this peer crosses the threshold --
+        a tampering replica is *detected*, never obeyed."""
+        replica.sig_rejected += 1
+        self.sig_rejected += 1
+        primary = self.primary
+        telemetry = primary.telemetry if primary is not None \
+            else replica.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.inc("replication.sig_rejected")
+            telemetry.tracer.event(
+                "replication.sig_rejected", replica=replica.replica_id,
+                frame=type(frame).__name__)
+        if replica.sig_rejected % self.auth_fault_threshold == 0:
+            fault = AuthFault(replica_id=replica.replica_id,
+                              rejections=replica.sig_rejected,
+                              at=self.sim.now)
+            self.auth_faults.append(fault)
+            for callback in list(self.on_auth_fault):
+                callback(fault)
+            self._note_byzantine(
+                "auth-fault",
+                f"{replica.replica_id}: {replica.sig_rejected} "
+                f"signature rejections",
+                replica=replica.replica_id)
+
+    def _note_byzantine(self, kind: str, detail: str, **tags) -> None:
+        """Central suspicion sink: escalate the mode policy and feed the
+        watchdog's byzantine-divergence anomaly kind (scored on
+        /healthz) when one is wired."""
+        self.mode_policy.note_anomaly(self.sim.now, self.epoch, kind, detail)
+        if self.watchdog is not None:
+            self.watchdog.note_byzantine(detail, suspicion=kind, **tags)
+        else:
+            primary = self.primary
+            if primary is not None and primary.telemetry.enabled:
+                primary.telemetry.tracer.event(
+                    f"replication.{kind}", detail=detail, **tags)
+
+    def _on_mode_switch(self, record) -> None:
+        if record.mode is ReplicationMode.CRASH_FAULT:
+            # De-escalation releases in-flight voting windows: their
+            # deadline callbacks find nothing pending and no-op.
+            self._pending_votes.clear()
+        primary = self.primary
+        if primary is not None and primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.mode_switches")
+            primary.telemetry.tracer.event(
+                "replication.mode_switch", mode=record.mode.value,
+                reason=record.reason, epoch=record.epoch)
+
     # -- primary side: shipping --------------------------------------------
 
     def _ship_record(self, txn, record) -> None:
@@ -454,14 +674,17 @@ class ReplicaSet:
             trace_id=getattr(txn, "trace_id", None) or 0,
         )
         self.ship_history.append(("record", frame))
+        self._txn_frames.setdefault(frame.txn_id, []).append(frame)
         for replica in self.live_backups():
-            replica.channel.proxy_end.send(frame)
+            self._send_to_backup(frame, replica)
         primary = self.primary
         if primary is not None and primary.telemetry.enabled:
             primary.telemetry.metrics.inc("replication.ships")
 
     def _ship_resolve(self, txn, outcome: str) -> None:
         self.resolve_count += 1
+        records = self._txn_frames.pop(txn.txn_id, [])
+        leaf = resolve_leaf(self.resolve_count, outcome, records)
         frame = TxnResolve(
             epoch=self.epoch,
             txn_id=txn.txn_id,
@@ -469,18 +692,27 @@ class ReplicaSet:
             log_index=self.ship_index,
             resolve_seq=self.resolve_count,
             trace_id=getattr(txn, "trace_id", None) or 0,
+            leaf=leaf,
         )
+        primary = self.primary
+        if primary is not None:
+            primary.ledger.add(self.resolve_count, leaf)
         self.ship_history.append(("resolve", frame))
         self.resolve_times.append((self.sim.now, self.resolve_count))
         if len(self.resolve_times) > self.resolve_times_max:
             del self.resolve_times[:len(self.resolve_times)
                                    - self.resolve_times_max]
         for replica in self.live_backups():
-            replica.channel.proxy_end.send(frame)
+            self._send_to_backup(frame, replica)
         if self.quorum and outcome == "commit":
             self._pending_quorum[frame.resolve_seq] = self.sim.now
             self.sim.schedule(self.quorum_timeout,
                               self._quorum_deadline, frame.resolve_seq,
+                              self.epoch)
+        if self.voting and outcome == "commit":
+            self._pending_votes[frame.resolve_seq] = self.sim.now
+            self.sim.schedule(self.vote_timeout,
+                              self._vote_deadline, frame.resolve_seq,
                               self.epoch)
 
     def _primary_heartbeat(self, replica: ControllerReplica) -> None:
@@ -495,21 +727,39 @@ class ReplicaSet:
             sent_at=self.sim.now,
             app_deltas=deltas,
             resolve_count=self.resolve_count,
+            # The primary's own vote: its chain digest at its ledger
+            # floor (== resolve_count in steady state).
+            digest=replica.ledger.digest,
         )
         for backup in self.live_backups():
-            backup.channel.proxy_end.send(frame)
+            self._send_to_backup(frame, backup)
         if replica.telemetry.enabled:
             replica.telemetry.metrics.inc("replication.heartbeats")
 
     def _on_primary_frame(self, replica: ControllerReplica, frame) -> None:
-        """Primary-side receive: acks and resync requests from backups."""
+        """Primary-side receive: acks and resync requests from backups.
+
+        Epoch fencing first (stale traffic is stale, not hostile), then
+        HMAC verification -- a frame that fails the pair MAC was
+        tampered in flight or forged, and is counted and dropped, never
+        processed.
+        """
         if getattr(frame, "epoch", self.epoch) != self.epoch:
             replica.stale_frames += 1
+            return
+        if replica.quarantined:
+            replica.stale_frames += 1
+            return
+        if self.signed and not self.keyring.verify(
+                frame, replica.replica_id, self._primary_id()):
+            self._note_sig_rejected(replica, frame)
             return
         if isinstance(frame, ReplAck):
             replica.acked_index = max(replica.acked_index, frame.log_index)
             replica.acked_resolves = max(replica.acked_resolves,
                                          frame.resolve_count)
+            if frame.digest_floor > 0:
+                self._note_vote(replica, frame.digest_floor, frame.digest)
             if self.quorum and self._pending_quorum:
                 self._check_quorum()
         elif isinstance(frame, ResyncRequest):
@@ -539,9 +789,11 @@ class ReplicaSet:
             if frame.epoch != self.epoch:
                 # Re-ship as the current primary's own: the record
                 # content is epoch-independent, only the fencing tag
-                # must be fresh or the backup drops it as stale.
+                # must be fresh or the backup drops it as stale.  (The
+                # history holds unsigned frames; _send_to_backup stamps
+                # the fresh epoch, so re-shipped frames authenticate.)
                 frame = replace(frame, epoch=self.epoch)
-            replica.channel.proxy_end.send(frame)
+            self._send_to_backup(frame, replica)
             sent += 1
         self.resyncs_served += 1
         self.resync_records_sent += sent
@@ -602,6 +854,187 @@ class ReplicaSet:
                 "replication.quorum_stall", resolve_seq=resolve_seq,
                 majority=self._majority())
 
+    # -- output voting (primary side, BYZANTINE mode) -------------------------
+
+    def _vote_threshold(self) -> int:
+        """Matching digest votes needed to confirm a resolve: 2f+1,
+        clamped to the live cohort (sets smaller than 3f+1 cannot
+        actually mask f liars -- the clamp keeps them live rather than
+        wedged, and ``tail_unverified``/``vote_stalls`` record the
+        shortfall)."""
+        n = 1 + len(self.live_backups())  # primary votes its own ledger
+        f = self.byz_f if self.byz_f is not None else tolerable_f(n)
+        return min(vote_threshold(f), n)
+
+    def _note_vote(self, replica: ControllerReplica, floor: int,
+                   digest: int) -> None:
+        """One backup's digest vote arrived (piggybacked on its ack).
+
+        A matching vote advances the replica's verified floor and may
+        confirm pending resolves; a conflicting one is Byzantine
+        evidence -- counted, escalated, and (in voting mode, past the
+        threshold, when the rest of the cohort stands behind the
+        primary's digest) quarantining.
+        """
+        if floor < replica.vote_floor:
+            return  # reordered ack: an older vote, already superseded
+        replica.vote_floor = floor
+        replica.vote_digest = digest
+        self.votes_cast += 1
+        primary = self.primary
+        if primary is None:
+            return
+        if primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.votes_cast")
+        expected = primary.ledger.at(floor)
+        if expected is None:
+            return  # outside our history window: no verdict either way
+        if digest == expected:
+            replica.vote_matched = max(replica.vote_matched, floor)
+            if self.voting and self._pending_votes:
+                self._check_votes()
+            return
+        replica.vote_conflicts += 1
+        self.vote_conflicts += 1
+        if primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.vote_conflicts")
+        self._note_byzantine(
+            "byzantine-divergence",
+            f"{replica.replica_id} voted {digest:#018x} at resolve "
+            f"{floor}, cohort digest {expected:#018x}",
+            replica=replica.replica_id, floor=floor)
+        if (self.voting and not replica.quarantined
+                and replica.vote_conflicts >= self.quarantine_threshold
+                and self._quarantine_justified(floor)):
+            self._quarantine(replica, floor, expected, digest)
+
+    def _quarantine_justified(self, floor: int) -> bool:
+        """Quarantine only a genuine *minority*: 2f+1 of the cohort
+        (primary included) must stand behind the primary's digest at or
+        past the floor.  An equivocating primary cannot muster that
+        majority, so its victims are never quarantined for honestly
+        reporting what they saw."""
+        matching = 1 + sum(1 for backup in self.live_backups()
+                           if backup.vote_matched >= floor)
+        return matching >= self._vote_threshold()
+
+    def _check_votes(self) -> None:
+        """Retire pending resolves that have 2f+1 matching votes."""
+        needed = self._vote_threshold()
+        for resolve_seq in sorted(self._pending_votes):
+            votes = 1 + sum(1 for backup in self.live_backups()
+                            if backup.vote_matched >= resolve_seq)
+            if votes < needed:
+                continue
+            shipped_at = self._pending_votes.pop(resolve_seq)
+            self.votes_confirmed += 1
+            primary = self.primary
+            if primary is not None and primary.telemetry.enabled:
+                primary.telemetry.metrics.inc("replication.votes_confirmed")
+                primary.telemetry.metrics.observe(
+                    "replication.vote_latency", self.sim.now - shipped_at)
+
+    def _vote_deadline(self, resolve_seq: int, epoch: int) -> None:
+        """A resolve's voting window closed without 2f+1 agreement.
+
+        Mirrors the quorum stall: graceful degradation, not blocking --
+        the transaction is already applied; what is lost is only the
+        Byzantine confirmation, which stays visible in the counters.
+        """
+        if epoch != self.epoch:
+            return
+        if self._pending_votes.pop(resolve_seq, None) is None:
+            return  # confirmed in time
+        self.vote_stalls += 1
+        primary = self.primary
+        if primary is not None and primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.vote_stalls")
+            primary.telemetry.tracer.event(
+                "replication.vote_stall", resolve_seq=resolve_seq,
+                needed=self._vote_threshold())
+
+    def _quarantine(self, replica: ControllerReplica, floor: int,
+                    expected: int, got: int) -> None:
+        """Expel a replica whose votes conflict with the cohort.
+
+        Quarantine removes it from shipping, voting, quorum, and
+        election (live_backups excludes it) and files a problem ticket
+        carrying both digests -- the operator-facing evidence trail.
+        :meth:`rehabilitate` re-admits it through a full resync.
+        """
+        replica.quarantined = True
+        replica.quarantined_at = self.sim.now
+        self.quarantines += 1
+        primary = self.primary
+        if primary is not None and primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.replicas_quarantined")
+            primary.telemetry.tracer.event(
+                "replication.quarantine", replica=replica.replica_id,
+                floor=floor)
+        runtime = self.runtime
+        if runtime is not None:
+            runtime.tickets.create(
+                app_name=f"replica:{replica.replica_id}",
+                time=self.sim.now,
+                failure_kind="byzantine",
+                offending_event=f"digest vote conflict at resolve {floor}",
+                recovery_policy="quarantine",
+                recovery_note=(f"voted {got:#018x}, cohort agreed on "
+                               f"{expected:#018x}; rejoin requires "
+                               f"rehabilitate() + full resync"),
+            )
+
+    def rehabilitate(self, replica_id: str) -> None:
+        """Re-admit a quarantined replica (the operator's rejoin path).
+
+        Nothing the replica holds can be trusted -- its log, shadow,
+        and ledger are wiped and a *full* resync rebuilds them from the
+        primary's history.  Until the replay lands it is an ordinary
+        lagging backup; its votes resume from the rebased chain.
+        """
+        replica = self.replica(replica_id)
+        if not replica.quarantined:
+            return
+        replica.quarantined = False
+        replica.vote_conflicts = 0
+        replica.vote_floor = 0
+        replica.vote_digest = 0
+        replica.vote_matched = 0
+        replica.digest_conflict_floor = -1
+        replica.leaf_mismatches = 0
+        replica.pending_leaves.clear()
+        replica.log.clear()
+        replica.open_txns.clear()
+        replica.shadow.clear()
+        replica.seen_indices.clear()
+        replica.contig_index = 0
+        replica.seen_resolve_seqs.clear()
+        replica.contig_resolves = 0
+        replica.last_ship_index = 0
+        replica.acked_index = 0
+        replica.acked_resolves = 0
+        replica.ledger.rebase(self._digest_base)
+        # A fresh lease: nothing was heartbeated at it while in
+        # quarantine, and a stale lease clock would make the rejoiner
+        # (again the lowest-id candidate) instantly "detect" a primary
+        # failure that never happened.
+        replica.last_heartbeat = self.sim.now
+        self.rejoins += 1
+        primary = self.primary
+        if primary is not None and primary.telemetry.enabled:
+            primary.telemetry.metrics.inc("replication.rejoins")
+            primary.telemetry.tracer.event(
+                "replication.rejoin", replica=replica.replica_id)
+        replica.resync_requested_at = self.sim.now
+        replica.resync_requests += 1
+        self._send_to_primary(replica, ResyncRequest(
+            replica_id=replica.replica_id,
+            epoch=self.epoch,
+            from_index=0,
+            to_index=self.ship_index,
+            from_resolve=0,
+        ))
+
     # -- backup side: the replicated log ------------------------------------
 
     def _on_backup_frame(self, replica: ControllerReplica, frame) -> None:
@@ -610,6 +1043,18 @@ class ReplicaSet:
             # Late traffic from a superseded epoch, or frames landing on
             # a replica that has since been promoted (or died).
             replica.stale_frames += 1
+            return
+        if replica.quarantined:
+            replica.stale_frames += 1
+            return
+        if self.signed and not self.keyring.verify(
+                frame, self._primary_id(), replica.replica_id):
+            # Suspicion falls on the *sender*: a primary->backup frame
+            # that fails the pair MAC was tampered by (or en route from)
+            # the primary side.
+            suspect = self.primary
+            self._note_sig_rejected(
+                suspect if suspect is not None else replica, frame)
             return
         if isinstance(frame, RecordShip):
             if frame.index in replica.seen_indices:
@@ -625,7 +1070,7 @@ class ReplicaSet:
             replica.open_txns.setdefault(frame.txn_id, []).append(frame)
             if replica.telemetry.enabled:
                 replica.telemetry.metrics.inc("replication.ships_received")
-            if self.quorum:
+            if self.quorum or self.voting:
                 self._send_ack(replica)
         elif isinstance(frame, TxnResolve):
             # Idempotent by construction: a record enters open_txns at
@@ -646,6 +1091,7 @@ class ReplicaSet:
             # On abort: discard.  The primary already sent the inverses
             # to the switches itself, and its own shadow never kept the
             # aborted writes either.
+            self._fold_leaf(replica, frame, records)
             if frame.resolve_seq in replica.seen_resolve_seqs:
                 replica.resync_dups += 1
             else:
@@ -653,7 +1099,7 @@ class ReplicaSet:
                 while (replica.contig_resolves + 1
                        in replica.seen_resolve_seqs):
                     replica.contig_resolves += 1
-            if self.quorum:
+            if self.quorum or self.voting:
                 self._send_ack(replica)
         elif isinstance(frame, ReplHeartbeat):
             replica.last_heartbeat = self.sim.now
@@ -669,15 +1115,72 @@ class ReplicaSet:
             replica.app_progress = {
                 delta.app_name: delta for delta in frame.app_deltas
             }
+            # Cross-check the primary's advertised chain digest against
+            # this backup's own ledger at the same floor.  A mismatch at
+            # a floor both sides have folded means the committed
+            # histories already diverged -- report once per floor (the
+            # throttle), escalate, and let voting arbitrate.
+            if frame.resolve_count > 0:
+                mine = replica.ledger.at(frame.resolve_count)
+                if (mine is not None and mine != frame.digest
+                        and frame.resolve_count
+                        > replica.digest_conflict_floor):
+                    replica.digest_conflict_floor = frame.resolve_count
+                    self._note_byzantine(
+                        "byzantine-divergence",
+                        f"heartbeat digest {frame.digest:#018x} at resolve "
+                        f"{frame.resolve_count} != {replica.replica_id}'s "
+                        f"{mine:#018x}",
+                        replica=replica.replica_id,
+                        floor=frame.resolve_count)
             self._maybe_request_resync(replica, frame)
             self._send_ack(replica)
 
+    def _fold_leaf(self, replica: ControllerReplica, frame: TxnResolve,
+                   records: List[RecordShip]) -> None:
+        """Fold one resolve into the backup's chain digest -- or abstain.
+
+        The ledger only ever folds a leaf the primary's advertisement
+        agrees with, so a resolve whose records were lost in flight can
+        stall this backup's *vote* but never poison its chain.  Partial
+        record sets park in ``pending_leaves``; a later resync replay
+        re-delivers the gap and the merged set heals the leaf.  A
+        mismatch with a provably *complete* record set is the
+        equivocation signature: the advertised leaf does not hash from
+        what was actually shipped here.
+        """
+        if frame.resolve_seq <= replica.ledger.floor:
+            return  # pre-rebase (or already folded): no vote owed
+        pending = replica.pending_leaves.pop(frame.resolve_seq, None)
+        if pending:
+            have = {r.index for r in records}
+            records = list(records) + [r for r in pending
+                                       if r.index not in have]
+        local_leaf = resolve_leaf(frame.resolve_seq, frame.outcome, records)
+        if local_leaf == frame.leaf:
+            replica.ledger.add(frame.resolve_seq, local_leaf)
+            return
+        replica.leaf_mismatches += 1
+        if len(replica.pending_leaves) < 256:
+            replica.pending_leaves[frame.resolve_seq] = list(records)
+        if records and replica.contig_index >= frame.log_index:
+            self._note_byzantine(
+                "equivocation",
+                f"{replica.replica_id} computed leaf {local_leaf:#018x} "
+                f"for resolve {frame.resolve_seq} from a complete record "
+                f"set; primary advertised {frame.leaf:#018x}",
+                replica=replica.replica_id, resolve_seq=frame.resolve_seq)
+
     def _send_ack(self, replica: ControllerReplica) -> None:
-        replica.channel.stub_end.send(ReplAck(
+        self._send_to_primary(replica, ReplAck(
             replica_id=replica.replica_id,
             epoch=self.epoch,
             log_index=replica.last_ship_index,
             resolve_count=replica.contig_resolves,
+            # The vote: this backup's chain digest at its verified
+            # floor (which lags contig_resolves while abstaining).
+            digest=replica.ledger.digest,
+            digest_floor=replica.ledger.floor,
         ))
 
     def _maybe_request_resync(self, replica: ControllerReplica,
@@ -692,7 +1195,12 @@ class ReplicaSet:
         repair that never comes.
         """
         behind = (heartbeat.log_index > replica.contig_index
-                  or heartbeat.resolve_count > replica.contig_resolves)
+                  or heartbeat.resolve_count > replica.contig_resolves
+                  # Abstaining from a leaf (partial record set) also
+                  # counts as lag: the replay re-delivers the gap so
+                  # the merged set can heal the vote.
+                  or (bool(replica.pending_leaves)
+                      and heartbeat.resolve_count > replica.ledger.floor))
         if not behind:
             return
         if self.sim.now - replica.resync_requested_at < self.resync_cooldown:
@@ -704,12 +1212,12 @@ class ReplicaSet:
                 "replication.resync_request",
                 from_index=replica.contig_index,
                 to_index=heartbeat.log_index)
-        replica.channel.stub_end.send(ResyncRequest(
+        self._send_to_primary(replica, ResyncRequest(
             replica_id=replica.replica_id,
             epoch=self.epoch,
             from_index=replica.contig_index,
             to_index=heartbeat.log_index,
-            from_resolve=replica.contig_resolves,
+            from_resolve=min(replica.contig_resolves, replica.ledger.floor),
         ))
 
     def _drop_unflushed_replication(self) -> int:
@@ -742,6 +1250,7 @@ class ReplicaSet:
         coordination round is needed -- SMaRtLight similarly relies on
         its coordination service to serialise who may be active.
         """
+        self.mode_policy.maybe_deescalate(self.sim.now, self.epoch)
         candidate = self._candidate()
         if candidate is None or self.primary is None:
             return
@@ -801,10 +1310,58 @@ class ReplicaSet:
         # for quorum die with its epoch (their deadline callbacks
         # no-op on the epoch guard).
         self._pending_quorum.clear()
+        self._pending_votes.clear()
+        self._txn_frames.clear()
         self.epoch += 1
         self.fence.advance(self.epoch)
+        # The mode policy is fenced on the same epoch: an escalation or
+        # de-escalation computed against the dead epoch (and delivered
+        # late) is rejected, so the two sides of this failover can
+        # never disagree about the mode.  The mode itself carries over.
+        self.mode_policy.advance_epoch(self.epoch)
         candidate.role = ReplicaRole.PRIMARY
         candidate.controller.epoch = self.epoch
+
+        # BYZANTINE mode: promotion-time tail verification.  Before the
+        # ledgers rebase, 2f+1 of the surviving cohort (the candidate
+        # included) must agree on the candidate's chain digest at its
+        # verified floor -- a replica promoting a fabricated tail fails
+        # this loudly instead of silently becoming the source of truth.
+        tail_verified = True
+        if self.voting:
+            tail_floor = candidate.ledger.floor
+            agree = 1  # the candidate stands behind its own tail
+            for survivor in self.replicas:
+                if (survivor is not candidate
+                        and survivor.role is ReplicaRole.BACKUP
+                        and survivor.is_live and not survivor.quarantined
+                        and survivor.ledger.at(tail_floor)
+                        == candidate.ledger.digest):
+                    agree += 1
+            needed = self._vote_threshold()
+            tail_verified = agree >= needed
+            if not tail_verified:
+                self.tail_unverified += 1
+                self._note_byzantine(
+                    "tail-unverified",
+                    f"promotion of {candidate.replica_id} at resolve "
+                    f"floor {tail_floor}: {agree}/{needed} matching "
+                    f"digests",
+                    replica=candidate.replica_id)
+
+        # Epoch-scoped digest chains: replicas may have missed
+        # *different* tails of the dead primary's stream, so cross-epoch
+        # chain continuity is unprovable.  Every ledger rebases at the
+        # set's resolve count (the view-change's agreed floor); votes
+        # and conflict throttles restart from the fresh chain.
+        self._digest_base = self.resolve_count
+        for replica in self.replicas:
+            replica.ledger.rebase(self._digest_base)
+            replica.vote_floor = 0
+            replica.vote_digest = 0
+            replica.vote_matched = 0
+            replica.digest_conflict_floor = -1
+            replica.pending_leaves.clear()
 
         # 2. Take over the switch sessions (owned dpids only -- other
         # shards' switches belong to their own sets).  connect_switch
@@ -897,6 +1454,7 @@ class ReplicaSet:
             orphan_txns=orphan_txns,
             orphan_inverses=orphan_inverses,
             replayed_records=replayed,
+            tail_verified=tail_verified,
         )
         self.failovers.append(record)
         self._primary_down_at = None
@@ -1097,6 +1655,18 @@ class ReplicaSet:
             "quorum_reads": self.quorum_reads,
             "quorum_read_fallbacks": self.quorum_read_fallbacks,
             "shard_id": self.shard_id,
+            "mode": self.mode.value,
+            "mode_switches": self.mode_policy.mode_switches,
+            "fenced_mode_transitions": self.mode_policy.fenced_transitions,
+            "sig_rejected": self.sig_rejected,
+            "auth_faults": len(self.auth_faults),
+            "votes_cast": self.votes_cast,
+            "votes_confirmed": self.votes_confirmed,
+            "vote_conflicts": self.vote_conflicts,
+            "vote_stalls": self.vote_stalls,
+            "quarantines": self.quarantines,
+            "rejoins": self.rejoins,
+            "tail_unverified": self.tail_unverified,
             "replicas": {
                 r.replica_id: {
                     "role": r.role.value,
@@ -1105,6 +1675,10 @@ class ReplicaSet:
                     "stale_frames": r.stale_frames,
                     "resync_requests": r.resync_requests,
                     "resync_dups": r.resync_dups,
+                    "quarantined": r.quarantined,
+                    "sig_rejected": r.sig_rejected,
+                    "vote_conflicts": r.vote_conflicts,
+                    "leaf_mismatches": r.leaf_mismatches,
                 }
                 for r in self.replicas
             },

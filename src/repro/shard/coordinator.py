@@ -355,4 +355,19 @@ class ShardCoordinator:
             "rebalances": self.rebalances,
             "dpids_moved": self.dpids_moved,
             "events_ingested": self.total_events_ingested(),
+            # Byzantine-tolerance rollup: each shard's set escalates
+            # independently (suspicion in one shard does not tax the
+            # others with voting), so the mode is reported per shard.
+            "modes": {
+                shard_id: handle.replicas.mode.value
+                for shard_id, handle in sorted(self.shards.items())
+            },
+            "sig_rejected": sum(h.replicas.sig_rejected
+                                for h in self.shards.values()),
+            "vote_conflicts": sum(h.replicas.vote_conflicts
+                                  for h in self.shards.values()),
+            "quarantines": sum(h.replicas.quarantines
+                               for h in self.shards.values()),
+            "mode_switches": sum(h.replicas.mode_policy.mode_switches
+                                 for h in self.shards.values()),
         }

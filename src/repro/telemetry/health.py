@@ -77,6 +77,7 @@ class HealthWatchdog:
         "latency-regression": 0.15,
         "retransmit-storm": 0.25,
         "recovery-slo-burn": 0.3,
+        "byzantine-divergence": 0.4,
         "invariant-violation": 0.5,
     }
     #: Exponential decay half-life for an anomaly's score impact (s).
@@ -280,6 +281,14 @@ class HealthWatchdog:
                    if isinstance(v, (str, int, float, bool, type(None)))})
         self.telemetry.metrics.inc("watchdog.anomalies")
         self.telemetry.metrics.inc(f"watchdog.{anomaly.kind}")
+        # Invariant violations the sweep finds escalate every guarded
+        # replica set's mode policy (byzantine-divergence reports come
+        # *from* a set, which has already escalated itself).
+        if anomaly.kind == "invariant-violation":
+            for replicas in getattr(self, "_guarded_replicas", ()):
+                replicas.mode_policy.note_anomaly(
+                    self.sim.now, replicas.epoch,
+                    anomaly.kind, anomaly.detail)
 
     # -- reporting ---------------------------------------------------------
 
@@ -292,6 +301,38 @@ class HealthWatchdog:
             age = max(0.0, now - anomaly.at)
             burden += anomaly.severity * (0.5 ** (age / self.DECAY_HALF_LIFE))
         return max(0.0, min(1.0, 1.0 - burden))
+
+    def note_byzantine(self, detail: str, suspicion: str = "divergence",
+                       **tags) -> None:
+        """Externally reported Byzantine evidence (from the replica
+        set's signature checks, digest comparisons, and vote counting).
+
+        Unlike the sweep checks, these are push-style: the replication
+        layer sees a lying replica the instant a vote conflicts, so it
+        reports in line rather than waiting for the next sweep.  The
+        anomaly scores on ``/healthz`` like any other and -- through
+        :meth:`guard_replication` -- escalates the guarded set's mode
+        policy.
+        """
+        self._emit(Anomaly(
+            kind="byzantine-divergence", at=self.sim.now,
+            severity=self.SEVERITIES["byzantine-divergence"],
+            detail=detail,
+            tags={"suspicion": suspicion, **tags},
+        ))
+
+    def guard_replication(self, replicas) -> None:
+        """Wire a :class:`~repro.replication.replicaset.ReplicaSet`'s
+        Byzantine suspicions through this watchdog (the
+        ``guard_checkpoints`` idiom for the replication layer): the
+        set's reports land here as ``byzantine-divergence`` anomalies,
+        and watchdog-observed invariant violations escalate the set's
+        mode policy in return -- the full adaptive loop of the paper's
+        divergence-triggered mode switch.
+        """
+        replicas.watchdog = self
+        self._guarded_replicas = getattr(self, "_guarded_replicas", [])
+        self._guarded_replicas.append(replicas)
 
     def guard_checkpoints(self, runtime) -> int:
         """Wire this watchdog's health score into every app stub's

@@ -1,0 +1,418 @@
+"""Tests for the Byzantine-tolerance layer: HMAC-authenticated
+shipping, chain-digest output voting, quarantine/rejoin, and the
+adaptive, epoch-fenced replication-mode policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import LearningSwitch
+from repro.core.runtime import LegoSDNRuntime
+from repro.faults import ByzantineProfile
+from repro.network.net import Network
+from repro.network.topology import linear_topology
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.openflow.actions import Output
+from repro.replication import (
+    DigestLedger,
+    RecordShip,
+    ReplAck,
+    ReplHeartbeat,
+    ReplicaKeyring,
+    ReplicaSet,
+    ReplicationMode,
+    ReplicationModePolicy,
+    TxnResolve,
+    chain_digest,
+    resolve_leaf,
+    tolerable_f,
+    vote_threshold,
+)
+from repro.replication.frames import ResyncRequest
+from repro.telemetry import HealthWatchdog, Telemetry
+from repro.workloads import TrafficWorkload
+
+
+def build(backups=1, switches=2, telemetry=None, **kwargs):
+    net = Network(linear_topology(switches, 1), seed=0, telemetry=telemetry)
+    runtime = LegoSDNRuntime(net.controller)
+    replicas = ReplicaSet(net, runtime, backups=backups, **kwargs)
+    runtime.launch_app(LearningSwitch())
+    net.start()
+    net.run_for(1.0)
+    return net, runtime, replicas
+
+
+def drive(net, duration=2.0, rate=40.0):
+    TrafficWorkload(net, rate=rate, seed=1,
+                    selection="random").start(duration * 0.8)
+    net.run_for(duration)
+
+
+# -- quorum math --------------------------------------------------------------
+
+class TestQuorumMath:
+    def test_vote_threshold(self):
+        assert vote_threshold(0) == 1
+        assert vote_threshold(1) == 3
+        assert vote_threshold(2) == 5
+
+    def test_vote_threshold_rejects_negative(self):
+        with pytest.raises(ValueError):
+            vote_threshold(-1)
+
+    def test_tolerable_f(self):
+        # n >= 3f + 1
+        assert tolerable_f(1) == 0
+        assert tolerable_f(3) == 0
+        assert tolerable_f(4) == 1
+        assert tolerable_f(6) == 1
+        assert tolerable_f(7) == 2
+
+    def test_set_threshold_clamps_to_cohort(self):
+        net, runtime, replicas = build(backups=1, byz_f=2)
+        # 2f+1 = 5 but the cohort is only 2: clamp keeps it live.
+        assert replicas._vote_threshold() == 2
+
+
+# -- authenticated shipping ---------------------------------------------------
+
+def _sample_frames():
+    mod = FlowMod(match=Match(eth_dst="aa"), command=FlowModCommand.ADD,
+                  priority=10, actions=(Output(1),))
+    return [
+        RecordShip(epoch=1, index=4, txn_id=9, app_name="x", dpid=1,
+                   message=mod, inverses=(), applied_at=1.5),
+        TxnResolve(epoch=1, txn_id=9, outcome="commit", log_index=4,
+                   resolve_seq=3, leaf=0xdead),
+        ReplHeartbeat(epoch=1, log_index=4, sent_at=2.0,
+                      resolve_count=3, digest=0xbeef),
+        ReplAck(replica_id="r1", epoch=1, log_index=4, resolve_count=3,
+                digest=0xbeef, digest_floor=3),
+        ResyncRequest(replica_id="r1", epoch=1, from_index=0, to_index=4),
+    ]
+
+
+class TestKeyring:
+    def test_stamp_verify_roundtrip_every_frame_type(self):
+        ring = ReplicaKeyring(secret=7)
+        for frame in _sample_frames():
+            stamped = ring.stamp(frame, "r0", "r1")
+            assert stamped.auth
+            assert ring.verify(stamped, "r0", "r1")
+            # Pair keys are symmetric in the pair, not per direction.
+            assert ring.verify(stamped, "r1", "r0")
+
+    def test_wrong_pair_rejected(self):
+        ring = ReplicaKeyring(secret=7)
+        stamped = ring.stamp(_sample_frames()[0], "r0", "r1")
+        assert not ring.verify(stamped, "r0", "r2")
+
+    def test_different_secrets_disagree(self):
+        frame = _sample_frames()[0]
+        a = ReplicaKeyring(secret=1).stamp(frame, "r0", "r1")
+        assert not ReplicaKeyring(secret=2).verify(a, "r0", "r1")
+
+    @settings(max_examples=40, deadline=None)
+    @given(kind=st.integers(min_value=0, max_value=4),
+           bump=st.integers(min_value=1, max_value=1 << 30))
+    def test_any_field_mutation_is_rejected(self, kind, bump):
+        """Tamper-rejection property: bump any integer content field of
+        any signed frame type and the MAC check must fail."""
+        from dataclasses import fields, replace
+
+        ring = ReplicaKeyring(secret=42)
+        frame = _sample_frames()[kind]
+        stamped = ring.stamp(frame, "r0", "r1")
+        mutated_any = False
+        for f in fields(stamped):
+            if f.name == "auth" or not isinstance(
+                    getattr(stamped, f.name), int):
+                continue
+            evil = replace(stamped, **{f.name: getattr(stamped, f.name)
+                                       + bump})
+            assert not ring.verify(evil, "r0", "r1")
+            mutated_any = True
+        assert mutated_any
+
+    def test_epoch_is_covered_no_rebadging(self):
+        ring = ReplicaKeyring(secret=7)
+        from dataclasses import replace
+        stamped = ring.stamp(_sample_frames()[0], "r0", "r1")
+        rebadged = replace(stamped, epoch=stamped.epoch + 1)
+        assert not ring.verify(rebadged, "r0", "r1")
+
+
+# -- digests ------------------------------------------------------------------
+
+class TestDigestLedger:
+    def test_out_of_order_folds_contiguously(self):
+        a, b = DigestLedger(), DigestLedger()
+        leaves = {i: resolve_leaf(i, "commit", []) for i in (1, 2, 3)}
+        for i in (1, 2, 3):
+            a.add(i, leaves[i])
+        for i in (3, 1, 2):  # arrival order must not matter
+            b.add(i, leaves[i])
+        assert a.floor == b.floor == 3
+        assert a.digest == b.digest != 0
+        assert a.at(2) == b.at(2)
+
+    def test_gap_stalls_the_chain(self):
+        ledger = DigestLedger()
+        ledger.add(1, 11)
+        ledger.add(3, 33)  # 2 missing
+        assert ledger.floor == 1
+        ledger.add(2, 22)
+        assert ledger.floor == 3
+
+    def test_rebase_restarts_chain_at_floor(self):
+        ledger = DigestLedger()
+        for i in (1, 2):
+            ledger.add(i, resolve_leaf(i, "commit", []))
+        ledger.rebase(5)
+        assert ledger.floor == 5
+        assert ledger.digest == 0
+        assert ledger.at(5) == 0
+        ledger.add(6, 66)
+        assert ledger.floor == 6
+        assert ledger.digest == chain_digest(0, 66)
+
+    def test_leaf_is_order_insensitive_over_records(self):
+        frames = _sample_frames()
+        rec = frames[0]
+        from dataclasses import replace
+        other = replace(rec, index=rec.index + 1)
+        assert (resolve_leaf(3, "commit", [rec, other])
+                == resolve_leaf(3, "commit", [other, rec]))
+        assert (resolve_leaf(3, "commit", [rec])
+                != resolve_leaf(3, "abort", [rec]))
+
+
+# -- the mode policy ----------------------------------------------------------
+
+class TestModePolicy:
+    def test_escalates_and_deescalates(self):
+        policy = ReplicationModePolicy(clean_window=1.0)
+        assert not policy.voting
+        assert policy.note_anomaly(10.0, 0, "auth-fault")
+        assert policy.mode is ReplicationMode.BYZANTINE
+        # still dirty: inside the clean window
+        assert not policy.maybe_deescalate(10.5, 0)
+        assert policy.maybe_deescalate(11.5, 0)
+        assert policy.mode is ReplicationMode.CRASH_FAULT
+        assert policy.mode_switches == 2
+
+    def test_pinned_never_moves(self):
+        policy = ReplicationModePolicy(mode=ReplicationMode.BYZANTINE,
+                                       pinned=True)
+        assert not policy.note_anomaly(1.0, 0, "x")
+        assert not policy.maybe_deescalate(99.0, 0)
+        assert policy.mode is ReplicationMode.BYZANTINE
+
+    def test_stale_epoch_requests_are_fenced(self):
+        policy = ReplicationModePolicy()
+        policy.advance_epoch(1)
+        assert not policy.note_anomaly(1.0, 0, "late-suspicion")
+        assert policy.mode is ReplicationMode.CRASH_FAULT
+        assert policy.fenced_transitions == 1
+        # The current epoch still escalates.
+        assert policy.note_anomaly(1.0, 1, "fresh-suspicion")
+
+    def test_deescalation_fenced_after_failover(self):
+        policy = ReplicationModePolicy(clean_window=0.5)
+        policy.note_anomaly(1.0, 0, "x")
+        policy.advance_epoch(1)
+        assert not policy.maybe_deescalate(99.0, 0)
+        assert policy.mode is ReplicationMode.BYZANTINE
+        assert policy.fenced_transitions == 1
+
+
+# -- integration: the honest path ---------------------------------------------
+
+class TestHonestRuns:
+    def test_clean_signed_run_votes_confirm(self):
+        net, runtime, replicas = build(backups=2, repl_mode="byzantine")
+        drive(net)
+        assert replicas.sig_rejected == 0
+        assert replicas.vote_conflicts == 0
+        assert replicas.quarantines == 0
+        assert replicas.votes_confirmed > 0
+        # Honest backups' chains converge with the primary's.
+        primary = replicas.primary
+        for backup in replicas.live_backups():
+            assert backup.ledger.at(backup.ledger.floor) \
+                == primary.ledger.at(backup.ledger.floor)
+
+    def test_crash_mode_is_default_and_silent(self):
+        net, runtime, replicas = build()
+        drive(net, duration=1.0)
+        assert replicas.mode is ReplicationMode.CRASH_FAULT
+        assert replicas.mode_policy.mode_switches == 0
+        assert not replicas.voting
+
+    def test_unsigned_optout_still_replicates(self):
+        net, runtime, replicas = build(signed=False)
+        drive(net, duration=1.0)
+        assert replicas.keyring.stamps == 0
+        assert replicas.replica("r1").ships_received > 0
+
+
+# -- integration: liars -------------------------------------------------------
+
+class TestTamperingBackup:
+    def test_tampered_frames_rejected_and_auth_fault_raised(self):
+        profile = ByzantineProfile(seed=3, tamper=1.0)
+        net, runtime, replicas = build(
+            backups=2, repl_mode="adaptive",
+            byzantine=lambda rid: profile if rid == "r1" else None)
+        drive(net)
+        assert profile.tampered > 0
+        liar = replicas.replica("r1")
+        assert liar.sig_rejected >= replicas.auth_fault_threshold
+        assert replicas.auth_faults
+        assert replicas.auth_faults[0].replica_id == "r1"
+        # Repeated auth faults escalated the adaptive policy.
+        assert replicas.mode is ReplicationMode.BYZANTINE
+
+    def test_honest_traffic_unaffected(self):
+        profile = ByzantineProfile(seed=3, tamper=1.0)
+        net, runtime, replicas = build(
+            backups=2, repl_mode="adaptive",
+            byzantine=lambda rid: profile if rid == "r1" else None)
+        drive(net)
+        honest = replicas.replica("r2")
+        assert honest.sig_rejected == 0
+        assert honest.ships_received > 0
+
+
+class TestDigestLiar:
+    def build_liar(self, mode="byzantine", start=0.0):
+        profile = ByzantineProfile(seed=5, digest_lie=1.0, start=start)
+        net, runtime, replicas = build(
+            backups=2, repl_mode=mode,
+            byzantine=lambda rid: profile if rid == "r1" else None)
+        return profile, net, runtime, replicas
+
+    def test_liar_quarantined_with_ticket(self):
+        profile, net, runtime, replicas = self.build_liar()
+        drive(net)
+        liar = replicas.replica("r1")
+        assert profile.digests_lied > 0
+        assert liar.quarantined
+        assert replicas.quarantines == 1
+        assert liar not in replicas.live_backups()
+        tickets = runtime.tickets.for_app("replica:r1")
+        assert tickets and tickets[0].failure_kind == "byzantine"
+        assert tickets[0].recovery_policy == "quarantine"
+
+    def test_zero_divergent_resolves_applied(self):
+        profile, net, runtime, replicas = self.build_liar()
+        drive(net)
+        # The lie never reached the switches: primary state is exactly
+        # its NetLog's committed state, and honest backups still match.
+        assert replicas.divergence() == 0
+        assert replicas.shadow_divergence("r2") == 0
+
+    def test_adaptive_escalates_on_lies(self):
+        profile, net, runtime, replicas = self.build_liar(
+            mode="adaptive", start=1.5)
+        assert not replicas.voting  # honest warmup stays cheap
+        drive(net, duration=3.0)
+        assert replicas.mode_policy.mode_switches >= 1
+        assert replicas.mode_policy.switches[0].mode \
+            is ReplicationMode.BYZANTINE
+
+    def test_rejoin_after_rehabilitate(self):
+        profile, net, runtime, replicas = self.build_liar()
+        drive(net)
+        liar = replicas.replica("r1")
+        assert liar.quarantined
+        profile.digest_lie = 0.0  # the operator fixed the replica
+        replicas.rehabilitate("r1")
+        assert not liar.quarantined
+        assert replicas.rejoins == 1
+        drive(net, duration=2.0)
+        # The full resync rebuilt its shadow from the primary's history.
+        assert replicas.shadow_divergence("r1") == 0
+        assert liar in replicas.live_backups()
+
+
+class TestVoting:
+    def test_votes_piggyback_no_extra_frames(self):
+        """Voting reuses the ack path: turning it on adds no frame
+        types, just digest fields on frames already flowing."""
+        net, runtime, replicas = build(backups=2, repl_mode="byzantine")
+        drive(net, duration=1.5)
+        assert replicas.votes_cast > 0
+        assert replicas.votes_confirmed > 0
+        assert replicas.vote_stalls == 0
+
+    def test_vote_stall_when_backups_gone(self):
+        net, runtime, replicas = build(backups=2, repl_mode="byzantine",
+                                       byz_f=1, vote_timeout=0.1)
+        for backup in replicas.live_backups():
+            backup.controller.crashed = True
+        drive(net, duration=1.0, rate=20.0)
+        assert replicas.vote_stalls > 0
+
+
+# -- integration: failover under byzantine mode -------------------------------
+
+class TestFailoverMidEscalation:
+    def test_mode_survives_failover_and_old_epoch_is_fenced(self):
+        net, runtime, replicas = build(backups=2, repl_mode="adaptive",
+                                       lease_timeout=0.2)
+        replicas.mode_policy.note_anomaly(net.now, replicas.epoch,
+                                          "test-suspicion")
+        assert replicas.voting
+        replicas.crash_primary()
+        net.run_for(1.0)
+        assert replicas.epoch == 1
+        # The mode carried across; the dead epoch can no longer move it.
+        assert replicas.voting
+        assert not replicas.mode_policy.maybe_deescalate(net.now + 99, 0)
+        assert replicas.mode_policy.fenced_transitions >= 1
+        assert replicas.mode is ReplicationMode.BYZANTINE
+
+    def test_ledgers_rebase_and_voting_resumes(self):
+        net, runtime, replicas = build(backups=2, repl_mode="byzantine",
+                                       lease_timeout=0.2)
+        drive(net, duration=1.0)
+        replicas.crash_primary()
+        net.run_for(1.0)
+        base = replicas._digest_base
+        for replica in replicas.replicas:
+            assert replica.ledger.floor >= base
+        drive(net, duration=2.0)
+        assert replicas.failovers[0].tail_verified
+        assert replicas.votes_confirmed > 0
+        assert replicas.divergence() == 0
+
+
+# -- watchdog wiring ----------------------------------------------------------
+
+class TestWatchdogWiring:
+    def test_guard_replication_feeds_healthz(self):
+        telemetry = Telemetry(enabled=True)
+        net = Network(linear_topology(2, 1), seed=0, telemetry=telemetry)
+        runtime = LegoSDNRuntime(net.controller)
+        profile = ByzantineProfile(seed=5, digest_lie=1.0)
+        replicas = ReplicaSet(
+            net, runtime, backups=2, repl_mode="adaptive",
+            byzantine=lambda rid: profile if rid == "r1" else None)
+        watchdog = HealthWatchdog(telemetry, net.sim)
+        watchdog.guard_replication(replicas)
+        assert replicas.watchdog is watchdog
+        runtime.launch_app(LearningSwitch())
+        net.start()
+        net.run_for(1.0)
+        drive(net)
+        counts = watchdog.anomaly_counts()
+        assert counts.get("byzantine-divergence", 0) > 0
+        payload = watchdog.healthz_payload()
+        assert payload["score"] < 1.0
+        assert any(a["kind"] == "byzantine-divergence"
+                   for a in payload["anomalies"])
+        assert telemetry.metrics.counters[
+            "watchdog.byzantine-divergence"] > 0

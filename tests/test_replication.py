@@ -256,10 +256,10 @@ class TestOrphanRollback:
         net.controller.send_to_switch(1, mod)
         net.run_for(0.1)
         assert net.switch(1).flow_table.find(Match(eth_dst="orphan"), 700)
-        replicas._on_backup_frame(backup, RecordShip(
+        replicas._on_backup_frame(backup, replicas.keyring.stamp(RecordShip(
             epoch=0, index=replicas.ship_index + 1, txn_id=12345,
             app_name="learning_switch", dpid=1, message=mod,
-            inverses=(inverse,), applied_at=net.now))
+            inverses=(inverse,), applied_at=net.now), "r0", "r1"))
         assert 12345 in backup.open_txns
         replicas.crash_primary()
         net.run_for(1.0)
