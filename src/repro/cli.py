@@ -9,6 +9,10 @@ Gives operators the common workflows without writing a script:
 - ``serve``         -- run a scenario, then serve /metrics over HTTP
 - ``chaos``         -- stress the control channel with seeded faults
 - ``byzantine``     -- compromise a replica; sweep tamper-rate x mode
+- ``minimize``      -- record a planted failure; shrink it to its
+  minimal causal sequence and replay the repro standalone
+- ``corpus``        -- run the chaos-correlated bug corpus grid;
+  regenerate or verify CORPUS_PR10.json
 - ``bug-study``     -- replay a synthetic bug corpus (the E1 experiment)
 - ``check-policy``  -- validate a compromise-policy file
 - ``show-topology`` -- describe a builder topology
@@ -504,12 +508,14 @@ def cmd_serve(args) -> int:
                 f"apps={len(runtime.live_apps())}")
 
     server = MetricsServer(telemetry, port=args.port, health=health,
-                           watchdog=watchdog)
+                           watchdog=watchdog,
+                           tickets=lambda: runtime.tickets.all())
     server.start()
     print(f"serving telemetry on {server.url}")
-    print(f"  {server.url}/metrics     (Prometheus text)")
-    print(f"  {server.url}/healthz     (health score + anomalies)")
-    print(f"  {server.url}/trace.json  (spans + critical-path)")
+    print(f"  {server.url}/metrics      (Prometheus text)")
+    print(f"  {server.url}/healthz      (health score + anomalies)")
+    print(f"  {server.url}/trace.json   (spans + critical-path)")
+    print(f"  {server.url}/tickets.json (problem tickets + minimized repros)")
     try:
         if args.linger is not None:
             time.sleep(args.linger)
@@ -686,6 +692,71 @@ def cmd_byzantine(args) -> int:
         return 1
     print(f"SLO met: {len(rates) * len(modes)} point(s), "
           "zero divergence, every active liar detected")
+    return 0
+
+
+def cmd_minimize(args) -> int:
+    """Record the planted 3-event-dependent crash under chaos, shrink
+    it to its minimal causal sequence (STS-style ddmin seeded by the
+    failing event's trace), and replay the repro standalone."""
+    from repro.debug import minimize_failure, planted_armed_recording
+
+    print(f"recording planted failure (seed {args.seed}, "
+          f"loss {args.loss:.0%}, {args.noise} noise events)...")
+    harness, recording = planted_armed_recording(
+        seed=args.seed, loss=args.loss, noise=args.noise)
+    print(f"captured {len(recording.events)} event(s); "
+          f"outcome: {recording.signature.describe()}")
+    if not recording.signature.failed:
+        print("error: the planted scenario did not fail", file=sys.stderr)
+        return 2
+    repro = minimize_failure(recording, harness)
+    print(repro.render())
+    replay = harness.replay(repro.minimal_events)
+    ok = replay.reproduces(recording.signature)
+    print(f"standalone replay: "
+          f"{'reproduces the signature' if ok else 'DOES NOT reproduce'} "
+          f"({replay.signature.describe()})")
+    if recording.ticket is not None and recording.ticket.minimized:
+        print(f"attached to problem ticket #{recording.ticket.ticket_id}")
+    if args.expect_length is not None and len(repro) != args.expect_length:
+        print(f"FAIL: minimized to {len(repro)} event(s), "
+              f"expected {args.expect_length}", file=sys.stderr)
+        return 1
+    return 0 if ok else 1
+
+
+def cmd_corpus(args) -> int:
+    """Run the chaos-correlated bug corpus: E1 bugs x seeded chaos
+    cells through the recorded stack, each failure minimized; write or
+    verify the committed corpus document."""
+    from repro.debug.corpus import check_corpus, corpus_json, run_corpus
+
+    doc = run_corpus(args.preset, seed=args.seed, log=print)
+    for cell in doc["cells"]:
+        outcome = cell["outcome"]
+        sig = outcome["signature"]
+        adversity = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(cell["adversity"].items())
+        ) or "clean"
+        min_note = ""
+        if "minimized_length" in outcome:
+            min_note = (f", minimized {outcome['minimized_length']} "
+                        f"(trigger {cell['trigger_length']})")
+        print(f"  {cell['bug']} [{cell['kind']}] x {adversity}: "
+              f"{sig['kind']}/{sig['failure_kind'] or '-'} "
+              f"policy={outcome['recovery_policy'] or '-'}"
+              f"{min_note}")
+    text = corpus_json(doc)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({len(doc['cells'])} cells)")
+    if args.check:
+        ok, lines = check_corpus(doc, args.check)
+        for line in lines:
+            print(("OK   " if ok else "FAIL ") + line)
+        return 0 if ok else 1
     return 0
 
 
@@ -1018,6 +1089,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_byz.add_argument("--rate", type=float, default=50.0,
                        help="traffic rate, packets/s (default 50)")
     p_byz.set_defaults(func=cmd_byzantine)
+
+    p_min = sub.add_parser("minimize", help=cmd_minimize.__doc__)
+    p_min.add_argument("--seed", type=int, default=0)
+    p_min.add_argument("--loss", type=float, default=0.2,
+                       help="chaos loss on the app channel during both "
+                            "the recording and every replay probe "
+                            "(default 0.2)")
+    p_min.add_argument("--noise", type=_positive_int, default=4,
+                       help="irrelevant events planted around the "
+                            "causal three (default 4)")
+    p_min.add_argument("--expect-length", type=_positive_int, default=None,
+                       metavar="N",
+                       help="exit non-zero unless the minimal sequence "
+                            "has exactly N events (CI gate)")
+    p_min.set_defaults(func=cmd_minimize)
+
+    from repro.debug.corpus import CORPUS_PRESETS as _corpus_presets
+    p_corpus = sub.add_parser("corpus", help=cmd_corpus.__doc__)
+    p_corpus.add_argument("--preset", choices=sorted(_corpus_presets),
+                          default="smoke")
+    p_corpus.add_argument("--seed", type=int, default=0)
+    p_corpus.add_argument("--out", default=None,
+                          help="write the corpus document here")
+    p_corpus.add_argument("--check", default=None, metavar="BASELINE",
+                          help="byte-compare against a committed corpus "
+                               "document (exit non-zero on drift)")
+    p_corpus.set_defaults(func=cmd_corpus)
 
     p_bugs = sub.add_parser("bug-study", help=cmd_bug_study.__doc__)
     p_bugs.add_argument("--count", type=int, default=100)

@@ -130,6 +130,13 @@ class Controller:
         self.shard_id: Optional[int] = None
         self.shard_router: Optional[Callable[[int], "Controller"]] = None
         self.events_forwarded = 0
+        #: Ingestion taps: callables ``(time, dpid, msg, trace_id)``
+        #: invoked for every switch message that survives the LLDP
+        #: filter, just before dispatch.  The record/replay harness
+        #: (:mod:`repro.debug`) registers here to capture the exact
+        #: event sequence the controller acted on.  Empty list = one
+        #: truthiness check on the hot path.
+        self.ingest_taps: List[Callable] = []
         # services
         self.topology = TopologyService(self)
         self.devices = DeviceManager(self)
@@ -227,6 +234,22 @@ class Controller:
             self.devices.learn(dpid, msg)
         if isinstance(msg, PortStatus):
             self.topology.handle_port_status(msg)
+        if self.ingest_taps:
+            # The tap must see the trace id dispatch will use, so the
+            # mint is hoisted here and pinned as the ambient context
+            # (dispatch prefers the ambient id over minting its own).
+            trace_id = 0
+            if tracer.enabled:
+                trace_id = tracer.current_trace or tracer.mint_trace()
+            for tap in self.ingest_taps:
+                tap(self.sim.now, dpid, msg, trace_id)
+            if trace_id and tracer.current_trace is None:
+                tracer.current_trace = trace_id
+                try:
+                    self.dispatch(msg)
+                finally:
+                    tracer.current_trace = None
+                return
         self.dispatch(msg)
 
     def dispatch(self, event) -> None:

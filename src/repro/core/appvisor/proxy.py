@@ -468,6 +468,25 @@ class AppVisorProxy:
 
     # -- failure handling -----------------------------------------------------------
 
+    def _critical_path_summary(self, trace_id: int, top: int = 3) -> list:
+        """Top critical-path self-time rows for one trace, for the
+        ticket (§3.3 made actionable: where the failing event's latency
+        actually sat).  Runs on the failure path only -- never per
+        event -- so the span scan's cost is irrelevant."""
+        if not self.telemetry.enabled or not trace_id:
+            return []
+        from repro.telemetry.causal import analyze
+
+        analysis = analyze(self.telemetry.tracer.to_dicts(),
+                           trace_ids=[trace_id])
+        return [
+            {"name": name,
+             "self_time": round(entry["total"], 9),
+             "share": round(entry["fraction"], 4),
+             "count": int(entry["count"])}
+            for name, entry in analysis.top(top)
+        ]
+
     def _handle_failure(self, record: AppRecord, kind: str, error: str = "",
                         traceback_text: str = "", logs=(),
                         violations=None,
@@ -544,6 +563,8 @@ class AppVisorProxy:
             recovery_policy=decision.policy.value,
             recovery_note=decision.note,
             flight_records=self.telemetry.flight_dump(),
+            trace_id=offending_trace,
+            critical_path=self._critical_path_summary(offending_trace),
         )
         self.controller.dispatch(AppCrashed(app_name=record.name, reason=kind))
         if self.shutdown_on_critical and violations and \

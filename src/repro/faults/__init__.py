@@ -19,11 +19,18 @@ from repro.faults.bugs import (
     make_bug_corpus,
 )
 from repro.faults.byzfaults import ByzantineProfile
-from repro.faults.injector import FaultyApp, PartialPolicyApp, crash_on
+from repro.faults.injector import (
+    ArmedCrashApp,
+    FaultyApp,
+    PartialPolicyApp,
+    arm_crash_on,
+    crash_on,
+)
 from repro.faults.netfaults import ChaosProfile, PartitionWindow
 
 __all__ = [
     "AppHang",
+    "ArmedCrashApp",
     "Bug",
     "BugKind",
     "ByzantineProfile",
@@ -33,6 +40,7 @@ __all__ = [
     "InjectedBugError",
     "PartialPolicyApp",
     "PartitionWindow",
+    "arm_crash_on",
     "crash_on",
     "make_bug_corpus",
 ]

@@ -176,6 +176,87 @@ class PartialPolicyApp(SDNApp):
         self.policies_installed += 1
 
 
+class ArmedCrashApp(SDNApp):
+    """A planted multi-event bug: events A and B set state, C crashes.
+
+    Each arming marker seen in a PacketIn payload sets a persistent
+    flag (carried through :meth:`get_state`/:meth:`set_state`, so
+    checkpoints and restores preserve the armed set exactly like any
+    real cumulative state bug); the trigger marker raises only once
+    *every* arming flag is set.  This is the ground-truth workload for
+    the STS minimizer (§5): the minimal causal sequence is exactly the
+    arming events plus the trigger, and nothing else in the run
+    matters.
+
+    ``inner`` is optional: without one the app subscribes to PacketIn
+    and installs nothing, so every packet keeps punting to the
+    controller (markers on the same host pair stay visible).
+    """
+
+    name = "armed_crash"
+    subscriptions = ("PacketIn",)
+
+    def __init__(self, inner: Optional[SDNApp] = None,
+                 arm_markers: Iterable[str] = ("ARM-A", "ARM-B"),
+                 trigger_marker: str = "TRIGGER-C",
+                 name: Optional[str] = None):
+        super().__init__(name or (inner.name if inner else None))
+        self.inner = inner
+        if inner is not None:
+            self.subscriptions = tuple(
+                dict.fromkeys(tuple(inner.subscriptions) + ("PacketIn",)))
+        self.arm_markers = tuple(arm_markers)
+        self.trigger_marker = trigger_marker
+        self.armed: set = set()
+
+    def startup(self, api) -> None:
+        self.api = api
+        if self.inner is not None:
+            self.inner.startup(api)
+
+    def handle(self, event):
+        self.events_handled += 1
+        if event.type_name == "PacketIn":
+            packet = getattr(event, "packet", None)
+            payload = getattr(packet, "payload", "") or ""
+            if payload:
+                for marker in self.arm_markers:
+                    if marker in payload:
+                        self.armed.add(marker)
+                if self.trigger_marker in payload and \
+                        self.armed >= set(self.arm_markers):
+                    raise InjectedBugError(
+                        f"{self.name}: armed crash on "
+                        f"{self.trigger_marker} (armed: "
+                        f"{', '.join(sorted(self.armed))})")
+        if self.inner is not None:
+            return self.inner.handle(event)
+        return None
+
+    def get_state(self) -> dict:
+        return {
+            "events_handled": self.events_handled,
+            "armed": sorted(self.armed),
+            "inner_state": (self.inner.get_state()
+                            if self.inner is not None else None),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.events_handled = state["events_handled"]
+        self.armed = set(state["armed"])
+        if self.inner is not None and state["inner_state"] is not None:
+            self.inner.set_state(state["inner_state"])
+
+
+def arm_crash_on(inner: Optional[SDNApp] = None,
+                 arm_markers: Iterable[str] = ("ARM-A", "ARM-B"),
+                 trigger_marker: str = "TRIGGER-C",
+                 name: Optional[str] = None) -> ArmedCrashApp:
+    """Convenience: the planted N-event-dependent crash app."""
+    return ArmedCrashApp(inner, arm_markers=arm_markers,
+                         trigger_marker=trigger_marker, name=name)
+
+
 def crash_on(inner: SDNApp, event_type: str = "PacketIn",
              dpid: Optional[int] = None,
              payload_marker: Optional[str] = None,

@@ -44,10 +44,24 @@ class FlightRecorder:
         """The retained events, oldest first, as JSON-safe dicts.
 
         Each call returns fresh copies, so a dump attached to a crash
-        artefact stays frozen while the ring keeps rolling.
+        artefact stays frozen while the ring keeps rolling.  When the
+        ring has evicted events, the dump leads with a
+        ``flight.truncated`` meta entry carrying the evicted count --
+        a silently shortened history would read as "nothing happened
+        before this", which is exactly wrong for forensics.
         """
-        return [dict(event, tags=dict(event["tags"]))
-                for event in self._events]
+        out = [dict(event, tags=dict(event["tags"]))
+               for event in self._events]
+        dropped = self.total_recorded - len(self._events)
+        if dropped > 0:
+            oldest = out[0]["time"] if out else 0.0
+            out.insert(0, {
+                "time": oldest,
+                "kind": "meta",
+                "name": "flight.truncated",
+                "tags": {"truncated": dropped},
+            })
+        return out
 
     def dump_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.dump(), indent=indent)

@@ -44,7 +44,8 @@ class MetricsServer:
                  health: Optional[Callable[[], str]] = None,
                  watchdog=None,
                  shard_health: Optional[Callable[[], dict]] = None,
-                 metrics_text: Optional[Callable[[], str]] = None):
+                 metrics_text: Optional[Callable[[], str]] = None,
+                 tickets: Optional[Callable[[], list]] = None):
         self.telemetry = telemetry
         self.host = host
         self.port = port
@@ -59,6 +60,11 @@ class MetricsServer:
         #: body (a sharded deployment concatenates per-shard labelled
         #: exports); defaults to rendering ``telemetry.metrics``.
         self.metrics_text = metrics_text
+        #: Optional zero-arg callable returning the deployment's
+        #: problem tickets (:meth:`~repro.core.crashpad.ticket.
+        #: TicketStore.all`); serves ``/tickets.json`` with each
+        #: ticket's full document, minimized repros included.
+        self.tickets = tickets
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -98,6 +104,13 @@ class MetricsServer:
                             ctype = "text/plain"
                     elif self.path == "/trace.json":
                         body = trace_json(server.telemetry)
+                        ctype = "application/json"
+                    elif self.path == "/tickets.json":
+                        rows = (server.tickets()
+                                if server.tickets is not None else [])
+                        body = json.dumps(
+                            {"tickets": [t.to_dict() for t in rows]},
+                            indent=2)
                         ctype = "application/json"
                     else:
                         self.send_error(404, "unknown path")

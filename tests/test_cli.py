@@ -190,3 +190,74 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert code == 1
         assert "SLO MISS" in out
+
+
+class TestDebugCommands:
+    def test_minimize_defaults(self):
+        args = build_parser().parse_args(["minimize"])
+        assert args.seed == 0
+        assert args.loss == 0.2
+        assert args.noise == 4
+        assert args.expect_length is None
+
+    def test_corpus_defaults(self):
+        args = build_parser().parse_args(["corpus"])
+        assert args.preset == "smoke"
+        assert args.seed == 0
+        assert args.out is None
+        assert args.check is None
+
+    def test_corpus_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["corpus", "--preset", "nope"])
+
+    def test_minimize_finds_the_planted_three(self, capsys):
+        code = main(["minimize", "--seed", "0", "--loss", "0.2",
+                     "--expect-length", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minimized repro: 3 of" in out
+        assert "TRIGGER-C" in out
+        assert "standalone replay: reproduces the signature" in out
+        assert "attached to problem ticket" in out
+
+    def test_minimize_expect_length_gate_fails_loud(self, capsys):
+        code = main(["minimize", "--seed", "0", "--loss", "0",
+                     "--noise", "2", "--expect-length", "1"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "expected 1" in err
+
+    def test_corpus_check_roundtrip(self, tmp_path, capsys):
+        out_path = str(tmp_path / "corpus.json")
+        assert main(["corpus", "--preset", "smoke",
+                     "--out", out_path]) == 0
+        assert main(["corpus", "--preset", "smoke",
+                     "--check", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "byte-for-byte" in out
+
+    def test_serve_exposes_tickets_json(self, capsys, monkeypatch):
+        import json as json_mod
+        import urllib.request
+
+        from repro.telemetry.serve import MetricsServer
+
+        captured = {}
+        real_start = MetricsServer.start
+
+        def probing_start(self):
+            real_start(self)
+            with urllib.request.urlopen(self.url + "/tickets.json",
+                                        timeout=5) as resp:
+                captured["tickets"] = resp.read().decode()
+            return self
+
+        monkeypatch.setattr(MetricsServer, "start", probing_start)
+        assert main(["serve", "--size", "2", "--port", "0",
+                     "--linger", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "/tickets.json" in out
+        doc = json_mod.loads(captured["tickets"])
+        assert len(doc["tickets"]) >= 1
+        assert doc["tickets"][0]["failure_kind"]

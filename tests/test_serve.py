@@ -84,3 +84,50 @@ class TestMetricsServer:
         assert server.start().port == port
         server.stop()
         server.stop()  # stop is idempotent too
+
+
+class TestTicketsEndpoint:
+    def test_tickets_json_empty_without_callable(self, telemetry):
+        with MetricsServer(telemetry) as server:
+            status, ctype, body = fetch(server.url + "/tickets.json")
+        assert status == 200
+        assert ctype == "application/json"
+        assert json.loads(body) == {"tickets": []}
+
+    def test_tickets_json_serves_full_ticket_documents(self, telemetry):
+        from repro.core.crashpad.ticket import TicketStore
+
+        store = TicketStore()
+        store.create(app_name="fw", time=1.5, failure_kind="fail-stop",
+                     offending_event="PacketIn(s1)",
+                     exception="boom", recovery_policy="absolute",
+                     trace_id=7,
+                     critical_path=[{"name": "appvisor.event",
+                                     "self_time": 0.001,
+                                     "share": 1.0, "count": 1}],
+                     minimized={"original_length": 5,
+                                "minimized_length": 1,
+                                "steps": [], "config": {},
+                                "signature": {}, "probes": 3})
+        server = MetricsServer(telemetry, tickets=store.all)
+        with server:
+            status, _, body = fetch(server.url + "/tickets.json")
+        assert status == 200
+        doc = json.loads(body)
+        ticket, = doc["tickets"]
+        assert ticket["app_name"] == "fw"
+        assert ticket["trace_id"] == 7
+        assert ticket["minimized"]["minimized_length"] == 1
+        assert ticket["critical_path"][0]["name"] == "appvisor.event"
+
+    def test_tickets_json_reflects_live_store(self, telemetry):
+        from repro.core.crashpad.ticket import TicketStore
+
+        store = TicketStore()
+        with MetricsServer(telemetry, tickets=store.all) as server:
+            _, _, before = fetch(server.url + "/tickets.json")
+            store.create(app_name="fw", time=0.1, failure_kind="hang",
+                         offending_event="PacketIn()")
+            _, _, after = fetch(server.url + "/tickets.json")
+        assert json.loads(before)["tickets"] == []
+        assert len(json.loads(after)["tickets"]) == 1

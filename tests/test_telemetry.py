@@ -102,7 +102,19 @@ class TestFlightRecorder:
             recorder.record(float(i), "event", f"e{i}")
         assert len(recorder) == 3
         assert recorder.total_recorded == 10
-        assert [e["name"] for e in recorder.dump()] == ["e7", "e8", "e9"]
+        # A truncated ring announces the eviction instead of silently
+        # presenting e7 as the start of history.
+        dump = recorder.dump()
+        assert [e["name"] for e in dump] == [
+            "flight.truncated", "e7", "e8", "e9"]
+        assert dump[0]["tags"] == {"truncated": 7}
+
+    def test_untruncated_dump_has_no_marker(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(4):
+            recorder.record(float(i), "event", f"e{i}")
+        assert [e["name"] for e in recorder.dump()] == [
+            "e0", "e1", "e2", "e3"]
 
     def test_dump_is_frozen_copy(self):
         recorder = FlightRecorder(capacity=2)
@@ -275,7 +287,8 @@ class TestTicketsWithFlightRecorder:
         telemetry = Telemetry(enabled=True, flight_capacity=16)
         _, runtime = _run_crash_scenario(telemetry)
         ticket, = runtime.tickets.all()
-        assert 0 < len(ticket.flight_records) <= 16
+        # capacity events at most, +1 for the flight.truncated marker.
+        assert 0 < len(ticket.flight_records) <= 17
         # The dump ends at the failure: the crashpad.failure event is in
         # the tail (recovery spans happen after the ticket is filed).
         names = [e["name"] for e in ticket.flight_records]
